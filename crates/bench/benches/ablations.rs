@@ -1,0 +1,210 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Replication factor K** — write amplification on the full stack:
+//!   every mutation fans out to K replicas (§4.2), so write cost should
+//!   grow roughly linearly in K while reads stay flat.
+//! * **Distribution granularity** — directory-level placement needs one
+//!   hash per *directory*; per-file placement hashes every file. The
+//!   paper's central claim is that directory distribution costs less
+//!   while balancing almost as well (Fig 5).
+//! * **Leaf-set size** — smaller leaf sets mean cheaper maintenance but
+//!   less failure slack; measures route() cost after failures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kosha::KoshaConfig;
+use kosha_id::{dir_key, node_id_from_seed};
+use kosha_pastry::{PastryConfig, PastryNode};
+use kosha_rpc::{LatencyModel, Network, NodeAddr, ServiceId, ServiceMux, SimNetwork};
+use kosha_sim::cached_mount::CachedKoshaMount;
+use kosha_sim::cluster::{ClusterParams, SimCluster};
+use kosha_sim::experiments::{mab_lan, table1_kosha_config};
+use kosha_sim::mab::{run_mab, MabParams};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_replication_write_amplification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_replication");
+    g.sample_size(10);
+    for k in [0usize, 1, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("write-k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut cfg = KoshaConfig::for_tests();
+                cfg.replicas = k;
+                cfg.distribution_level = 1;
+                let cluster = SimCluster::build(&ClusterParams {
+                    nodes: 6,
+                    kosha: cfg,
+                    latency: LatencyModel::zero(),
+                    seed: 42,
+                });
+                let m = cluster.mount(0);
+                m.mkdir_p("/w").unwrap();
+                for i in 0..20 {
+                    m.write_file(&format!("/w/f{i}"), &[7u8; 2048]).unwrap();
+                }
+                black_box(())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let paths: Vec<String> = (0..64)
+        .flat_map(|d| (0..16).map(move |f| format!("/dir{d}/file{f}")))
+        .collect();
+    let mut g = c.benchmark_group("ablation_granularity");
+    g.bench_function("hash-per-directory", |b| {
+        b.iter(|| {
+            // One hash per directory; files reuse the directory's key.
+            let mut last_dir = "";
+            let mut key = dir_key("/");
+            for p in &paths {
+                let (dir, _) = p.rsplit_once('/').unwrap();
+                if dir != last_dir {
+                    key = dir_key(dir.rsplit('/').next().unwrap());
+                    last_dir = dir;
+                }
+                black_box(key);
+            }
+        })
+    });
+    g.bench_function("hash-per-file", |b| {
+        b.iter(|| {
+            for p in &paths {
+                black_box(dir_key(p));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_leafset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_leafset");
+    g.sample_size(10);
+    for half in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("route-after-failures", half), &half, |b, &half| {
+            b.iter(|| {
+                let net = SimNetwork::new_zero_latency();
+                let mut nodes = Vec::new();
+                for i in 0..20u64 {
+                    let node = PastryNode::new(
+                        PastryConfig {
+                            leaf_half: half,
+                            max_hops: 64,
+                            proximity_aware: false,
+                        },
+                        node_id_from_seed(&format!("ab-{i}")),
+                        NodeAddr(i),
+                        net.clone() as Arc<dyn Network>,
+                    );
+                    let mux = Arc::new(ServiceMux::new());
+                    mux.register(ServiceId::Pastry, node.clone());
+                    net.attach(node.addr(), mux);
+                    node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
+                        .unwrap();
+                    nodes.push(node);
+                }
+                for d in [3u64, 7, 11, 15] {
+                    net.fail_node(NodeAddr(d));
+                }
+                for n in nodes.iter().filter(|n| n.addr().0 % 4 != 3) {
+                    n.maintain();
+                }
+                for k in 0..30u32 {
+                    let key = dir_key(&format!("key{k}"));
+                    black_box(nodes[0].route(key).unwrap());
+                }
+                // Break the net→mux→node→net reference cycle so each
+                // iteration's ring is actually freed.
+                for n in &nodes {
+                    net.detach(n.addr());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_from_replicas(c: &mut Criterion) {
+    // §4.2's future-work optimization: measures the end-to-end cost of
+    // round-robined replica reads vs primary-only reads.
+    let mut g = c.benchmark_group("ablation_replica_reads");
+    g.sample_size(10);
+    for enabled in [false, true] {
+        let label = if enabled { "replica-rr" } else { "primary-only" };
+        g.bench_function(label, |b| {
+            let mut cfg = KoshaConfig::for_tests();
+            cfg.replicas = 2;
+            cfg.distribution_level = 1;
+            cfg.read_from_replicas = enabled;
+            let cluster = SimCluster::build(&ClusterParams {
+                nodes: 6,
+                kosha: cfg,
+                latency: LatencyModel::zero(),
+                seed: 77,
+            });
+            let m = cluster.mount(0);
+            m.mkdir_p("/r").unwrap();
+            m.write_file("/r/blob", &[3u8; 64 * 1024]).unwrap();
+            b.iter(|| {
+                for _ in 0..6 {
+                    black_box(m.read_file("/r/blob").unwrap());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_client_cache(c: &mut Criterion) {
+    // §4.1.1: Kosha under a caching NFS client. Compares MAB cost with
+    // and without attribute/dentry/data caching in front of koshad.
+    let mut g = c.benchmark_group("ablation_client_cache");
+    g.sample_size(10);
+    g.bench_function("uncached-client", |b| {
+        b.iter(|| {
+            let cluster = SimCluster::build(&ClusterParams {
+                nodes: 4,
+                kosha: table1_kosha_config(),
+                latency: mab_lan(),
+                seed: 900,
+            });
+            let m = cluster.mount(0);
+            let clock = cluster.clock();
+            clock.reset();
+            black_box(run_mab(&MabParams::small(), &m, &clock).unwrap())
+        })
+    });
+    g.bench_function("caching-client", |b| {
+        b.iter(|| {
+            let cluster = SimCluster::build(&ClusterParams {
+                nodes: 4,
+                kosha: table1_kosha_config(),
+                latency: mab_lan(),
+                seed: 900,
+            });
+            let m = CachedKoshaMount::new(
+                cluster.net.clone() as Arc<dyn Network>,
+                cluster.nodes[0].addr(),
+                cluster.nodes[0].addr(),
+                kosha_nfs::CacheConfig::default(),
+            )
+            .unwrap();
+            let clock = cluster.clock();
+            clock.reset();
+            black_box(run_mab(&MabParams::small(), &m, &clock).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replication_write_amplification,
+    bench_granularity,
+    bench_leafset,
+    bench_read_from_replicas,
+    bench_client_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 7: replaying the 840-hour availability
+//! trace against the placed file system at different replica counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kosha_sim::availability::{simulate_availability, AvailabilityTrace};
+use kosha_sim::{AvailabilityParams, FsTrace, TraceParams};
+use std::hint::black_box;
+
+fn bench_availability(c: &mut Criterion) {
+    let trace = FsTrace::generate(&TraceParams::default().scaled(0.01));
+    let params = AvailabilityParams {
+        machines: 256,
+        hours: 840,
+        ..Default::default()
+    };
+    let avail = AvailabilityTrace::generate(&params);
+    let mut g = c.benchmark_group("availability");
+    g.sample_size(10);
+    for k in [0usize, 1, 3] {
+        g.bench_with_input(BenchmarkId::new("replicas", k), &k, |b, &k| {
+            b.iter(|| black_box(simulate_availability(&trace, &avail, 3, k, 1)))
+        });
+    }
+    g.bench_function("trace-generation", |b| {
+        b.iter(|| black_box(AvailabilityTrace::generate(&params)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_availability);
+criterion_main!(benches);

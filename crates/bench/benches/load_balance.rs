@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 5: trace placement cost per distribution
+//! level, plus the per-file hashing bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kosha_sim::placement::{PlacementParams, PlacementSim};
+use kosha_sim::{FsTrace, TraceParams};
+use std::hint::black_box;
+
+fn bench_load_balance(c: &mut Criterion) {
+    let trace = FsTrace::generate(&TraceParams::default().scaled(0.02));
+    let mut g = c.benchmark_group("load_balance");
+    for level in [1usize, 4, 10] {
+        g.bench_with_input(BenchmarkId::new("dir-level", level), &level, |b, &l| {
+            b.iter(|| {
+                let mut sim = PlacementSim::new(PlacementParams::fig5(l, 1));
+                sim.insert_trace(&trace);
+                black_box(sim.balance_stats())
+            })
+        });
+    }
+    g.bench_function("per-file-bound", |b| {
+        b.iter(|| {
+            black_box(PlacementSim::per_file_baseline(
+                &PlacementParams::fig5(1, 1),
+                &trace,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_load_balance);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for Tables 1–2: Modified Andrew Benchmark wall cost
+//! of the full Kosha stack at different cluster sizes and distribution
+//! levels, against the unmodified-NFS baseline.
+//!
+//! Criterion measures the *host* cost of running the simulation; the
+//! paper-style virtual-time tables come from the `table1`/`table2`
+//! binaries. Keeping both makes regressions in either the system's real
+//! work-per-op or its modeled time visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kosha_sim::baseline::NfsBaseline;
+use kosha_sim::cluster::{ClusterParams, SimCluster};
+use kosha_sim::experiments::{mab_disk, mab_lan, table1_kosha_config};
+use kosha_sim::mab::{run_mab, MabParams};
+use std::hint::black_box;
+
+fn bench_mab(c: &mut Criterion) {
+    let params = MabParams::small();
+    let mut g = c.benchmark_group("mab");
+    g.sample_size(10);
+
+    g.bench_function("nfs-baseline", |b| {
+        b.iter(|| {
+            let base = NfsBaseline::build(mab_lan(), mab_disk(), 64 << 30);
+            let clock = base.clock();
+            black_box(run_mab(&params, &base, &clock).unwrap())
+        })
+    });
+
+    for nodes in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("kosha-nodes", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let cluster = SimCluster::build(&ClusterParams {
+                    nodes: n,
+                    kosha: table1_kosha_config(),
+                    latency: mab_lan(),
+                    seed: 100 + n as u64,
+                });
+                let m = cluster.mount(0);
+                let clock = cluster.clock();
+                black_box(run_mab(&params, &m, &clock).unwrap())
+            })
+        });
+    }
+
+    for level in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("kosha-level", level), &level, |b, &l| {
+            b.iter(|| {
+                let mut cfg = table1_kosha_config();
+                cfg.distribution_level = l;
+                let cluster = SimCluster::build(&ClusterParams {
+                    nodes: 4,
+                    kosha: cfg,
+                    latency: mab_lan(),
+                    seed: 200,
+                });
+                let m = cluster.mount(0);
+                let clock = cluster.clock();
+                black_box(run_mab(&params, &m, &clock).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mab);
+criterion_main!(benches);

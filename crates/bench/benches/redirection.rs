@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 6: insertion under capacity pressure with
+//! varying redirection budgets — measures what each extra redirection
+//! attempt costs at insert time (the trade-off the paper notes: "each
+//! redirection attempt requires hashing of the file name which can
+//! hinder the file operation performance").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kosha_sim::placement::{PlacementParams, PlacementSim};
+use kosha_sim::{FsTrace, TraceParams};
+use std::hint::black_box;
+
+fn bench_redirection(c: &mut Criterion) {
+    let trace = FsTrace::generate(&TraceParams::default().scaled(0.02));
+    let total = trace.total_bytes();
+    let mut g = c.benchmark_group("redirection");
+    for attempts in [0usize, 1, 4, 15] {
+        g.bench_with_input(BenchmarkId::new("attempts", attempts), &attempts, |b, &a| {
+            b.iter(|| {
+                let mut p = PlacementParams::fig6(a, 1);
+                let scale = (total * 4) as f64 / 0.9 / 60_000_000_000.0;
+                for cap in &mut p.capacities {
+                    *cap = ((*cap as f64) * scale) as u64;
+                }
+                let mut sim = PlacementSim::new(p);
+                sim.insert_trace(&trace);
+                black_box(sim.sample())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_redirection);
+criterion_main!(benches);

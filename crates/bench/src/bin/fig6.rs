@@ -1,0 +1,17 @@
+//! Regenerates Figure 6: cumulative insertion-failure ratio versus
+//! storage utilization as the redirection-attempt budget grows
+//! (0/1/2/4/8/15 attempts; distribution level 4; 3 replicas;
+//! heterogeneous 8×3 GB + 4×4 GB + 4×5 GB nodes).
+
+use kosha_sim::experiments::Fig6;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (runs, scale) = if full { (50, 1.0) } else { (10, 0.25) };
+    let f = Fig6::run(&[0, 1, 2, 4, 8, 15], runs, scale);
+    println!("{}", f.render());
+    println!(
+        "Paper reference: with 4 redirections the failure ratio stays near 0 up\n\
+         to 60% utilization and stays under ~12% as utilization approaches 100%."
+    );
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 7: percentage of files available over the 840-hour
+//! availability trace, for replica counts K = 0..4 at distribution
+//! level 3, including the mass-failure spike at hour 615.
+
+use kosha_sim::experiments::Fig7;
+use kosha_sim::AvailabilityParams;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (runs, machines, scale) = if full {
+        (20, 4096, 0.25)
+    } else {
+        (5, 1024, 0.05)
+    };
+    let params = AvailabilityParams {
+        machines,
+        ..Default::default()
+    };
+    let f = Fig7::run(params, scale, runs);
+    println!("{}", f.render());
+    println!(
+        "Paper reference: Kosha-3 averages 99.9968% availability; at the hour-615\n\
+         spike over 12% of files are unavailable for Kosha-0 vs 0.16% for Kosha-3."
+    );
+}

@@ -1,0 +1,2 @@
+//! Benchmark harness for the Kosha reproduction (see `src/bin/` for the
+//! per-table/figure binaries and `benches/` for Criterion benches).

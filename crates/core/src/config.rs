@@ -1,0 +1,108 @@
+//! Kosha deployment parameters.
+
+use std::time::Duration;
+
+/// System-wide parameters of a Kosha deployment. All nodes must agree on
+/// `distribution_level` (the paper calls it "a system-wide parameter",
+/// §3.2); the rest are per-node operational knobs.
+#[derive(Debug, Clone)]
+pub struct KoshaConfig {
+    /// How many levels of subdirectories below `/kosha` are distributed
+    /// to nodes by hashing their names (§3.2). Level 1 distributes only
+    /// the top-level directories.
+    pub distribution_level: usize,
+    /// Number of additional replicas `K` the primary maintains on its
+    /// leaf-set neighbors (§4.2). 0 disables replication.
+    pub replicas: usize,
+    /// Maximum redirection attempts when the mapped node is full (§3.3:
+    /// "the redirection process repeats till a node with enough disk
+    /// space is found, or a pre-specified number of retries is
+    /// exhausted").
+    pub redirect_attempts: usize,
+    /// Utilization above which a node refuses to host *new* directories,
+    /// triggering redirection ("redirection is done for all newly created
+    /// directories when the local disk space has exceeded the
+    /// pre-specified utilization", §3.3).
+    pub redirect_utilization: f64,
+    /// Nodes per leaf-set side in the Pastry overlay (`l/2`).
+    pub leaf_half: usize,
+    /// Bytes of local disk contributed by this node.
+    pub contributed_bytes: u64,
+    /// Retries a client-side operation makes across failovers before
+    /// giving up.
+    pub failover_retries: usize,
+    /// READ/WRITE transfer chunk used by whole-file helpers (NFSv3
+    /// implementations commonly use 32 KiB).
+    pub io_chunk: u32,
+    /// Disk model handed to the node's NFS server.
+    pub disk_bandwidth_bps: u64,
+    /// Metadata-operation disk cost.
+    pub disk_meta_op: Duration,
+    /// Serve READs from any of the K replicas instead of always from the
+    /// primary — the optimization §4.2 leaves as future work ("We
+    /// currently are exploring optimization techniques that allow at
+    /// least read operations to be served from any one of the K
+    /// replicas"). Selection is round-robin over primary + replicas with
+    /// transparent fallback to the primary.
+    pub read_from_replicas: bool,
+    /// Per-operation cost of the koshad user-level loopback server — the
+    /// "constant overhead introduced by the interposition code" (`I` in
+    /// the Section 6.1.2 model). The prototype's SFS-toolkit loopback
+    /// server crossed the user/kernel boundary several times per RPC;
+    /// this models that fixed cost.
+    pub koshad_op_cost: Duration,
+}
+
+impl Default for KoshaConfig {
+    fn default() -> Self {
+        KoshaConfig {
+            distribution_level: 1,
+            replicas: 0,
+            redirect_attempts: 4,
+            redirect_utilization: 0.95,
+            leaf_half: 8,
+            contributed_bytes: 35 * 1_000_000_000, // paper: 35 GB per node
+            failover_retries: 4,
+            io_chunk: 32 * 1024,
+            disk_bandwidth_bps: 40_000_000,
+            disk_meta_op: Duration::from_micros(120),
+            read_from_replicas: false,
+            koshad_op_cost: Duration::from_micros(350),
+        }
+    }
+}
+
+impl KoshaConfig {
+    /// Config used by most unit tests: small, fast, deterministic.
+    #[must_use]
+    pub fn for_tests() -> Self {
+        KoshaConfig {
+            distribution_level: 2,
+            replicas: 1,
+            redirect_attempts: 4,
+            redirect_utilization: 0.95,
+            leaf_half: 8,
+            contributed_bytes: 1 << 22, // 4 MiB
+            failover_retries: 4,
+            io_chunk: 4096,
+            disk_bandwidth_bps: u64::MAX,
+            disk_meta_op: Duration::ZERO,
+            read_from_replicas: false,
+            koshad_op_cost: Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = KoshaConfig::default();
+        assert_eq!(c.distribution_level, 1);
+        assert_eq!(c.redirect_attempts, 4);
+        assert_eq!(c.contributed_bytes, 35 * 1_000_000_000);
+        assert!(c.redirect_utilization > 0.5 && c.redirect_utilization <= 1.0);
+    }
+}

@@ -1,0 +1,760 @@
+//! The koshad-to-koshad control protocol.
+//!
+//! Mutations must execute at the *primary replica* so it can fan them out
+//! to the K replica nodes (§4.2: "The primary replica is responsible for
+//! maintaining K replicas"), so the client-side koshad ships them here by
+//! virtual path. Reads and lookups bypass this service and use direct NFS
+//! against the primary's store. The protocol also carries promotion
+//! queries (fault handling, §4.4) and anchor migration (§4.3).
+
+use kosha_nfs::messages::{WireAttr, WireSetAttr};
+use kosha_nfs::Fh;
+use kosha_rpc::{Reader, WireError, WireRead, WireWrite, Writer};
+use kosha_vfs::{ExportItem, ExportKind};
+
+/// One object pushed during anchor migration or replica repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateItem {
+    /// Path relative to the anchor root ("" = the anchor directory).
+    pub rel_path: String,
+    /// Object payload.
+    pub kind: MigrateKind,
+    /// Permission bits.
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+}
+
+/// Payload variants for [`MigrateItem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateKind {
+    /// Directory.
+    Dir,
+    /// Regular file with contents.
+    Bytes(Vec<u8>),
+    /// Sparse (size-only) file.
+    Sparse(u64),
+    /// Symlink (user or special).
+    Symlink {
+        /// Link target.
+        target: String,
+    },
+}
+
+impl From<ExportItem> for MigrateItem {
+    fn from(e: ExportItem) -> Self {
+        MigrateItem {
+            rel_path: e.rel_path,
+            kind: match e.kind {
+                ExportKind::Dir => MigrateKind::Dir,
+                ExportKind::Bytes(b) => MigrateKind::Bytes(b),
+                ExportKind::Sparse(n) => MigrateKind::Sparse(n),
+                ExportKind::Symlink { target } => MigrateKind::Symlink { target },
+            },
+            mode: e.mode,
+            uid: e.uid,
+            gid: e.gid,
+        }
+    }
+}
+
+impl WireWrite for MigrateItem {
+    fn write(&self, w: &mut Writer) {
+        w.string(&self.rel_path);
+        match &self.kind {
+            MigrateKind::Dir => w.u8(0),
+            MigrateKind::Bytes(b) => {
+                w.u8(1);
+                w.bytes(b);
+            }
+            MigrateKind::Sparse(n) => {
+                w.u8(2);
+                w.u64(*n);
+            }
+            MigrateKind::Symlink { target } => {
+                w.u8(3);
+                w.string(target);
+            }
+        }
+        w.u32(self.mode);
+        w.u32(self.uid);
+        w.u32(self.gid);
+    }
+}
+impl WireRead for MigrateItem {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let rel_path = r.string()?;
+        let kind = match r.u8()? {
+            0 => MigrateKind::Dir,
+            1 => MigrateKind::Bytes(r.bytes()?),
+            2 => MigrateKind::Sparse(r.u64()?),
+            3 => MigrateKind::Symlink {
+                target: r.string()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(MigrateItem {
+            rel_path,
+            kind,
+            mode: r.u32()?,
+            uid: r.u32()?,
+            gid: r.u32()?,
+        })
+    }
+}
+
+/// Requests handled by a node's Kosha control service. Every path is a
+/// full virtual path (relative to `/kosha`, normalized).
+#[derive(Debug, Clone, PartialEq)]
+pub enum KoshaRequest {
+    /// Create a regular file (primary of the parent directory). `size`
+    /// creates a quota-charged sparse file (simulation inserts).
+    CreateFile {
+        /// Virtual path of the new file.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Sparse size, if any.
+        size: Option<u64>,
+    },
+    /// Create a non-distributed directory (depth > level) on the node
+    /// holding its parent.
+    MkdirLocal {
+        /// Virtual path of the new directory.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+    },
+    /// Materialize a distributed directory on this node: create the empty
+    /// ancestor hierarchy, the directory itself, and the anchor metadata.
+    MkdirAnchor {
+        /// Virtual path of the new anchor directory.
+        path: String,
+        /// The (possibly salted) name this anchor is routed by.
+        routing_name: String,
+        /// Permission bits.
+        mode: u32,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+    },
+    /// Place a special link in a parent directory hosted on this node
+    /// (§3.1, §3.3). `path` is the link's own virtual path.
+    PlaceLink {
+        /// Virtual path of the link (parent's listing entry).
+        path: String,
+        /// Routing name the link points at (`name` or `name#salt`).
+        target: String,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+    },
+    /// Create a user-level symlink (lives with its parent directory).
+    SymlinkFile {
+        /// Virtual path of the symlink.
+        path: String,
+        /// Target string (opaque to Kosha).
+        target: String,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+    },
+    /// Write data to a file.
+    Write {
+        /// Virtual path of the file.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Data.
+        data: Vec<u8>,
+    },
+    /// Update attributes of a file or directory hosted on this node.
+    SetAttr {
+        /// Virtual path.
+        path: String,
+        /// Attribute changes.
+        sattr: WireSetAttr,
+    },
+    /// Remove a file or user symlink.
+    Remove {
+        /// Virtual path.
+        path: String,
+    },
+    /// Remove an empty non-distributed directory.
+    Rmdir {
+        /// Virtual path.
+        path: String,
+    },
+    /// Tear down a distributed directory hosted on this node: verify
+    /// empty, remove it, prune the now-empty ancestor hierarchy (§4.1.5).
+    RmdirAnchor {
+        /// Virtual path of the anchor directory.
+        path: String,
+    },
+    /// Remove the special link entry for a deleted/migrated distributed
+    /// directory from its parent's listing on this node.
+    RemoveLink {
+        /// Virtual path of the link.
+        path: String,
+    },
+    /// Rename an entry where both source and destination live on this
+    /// node (same-parent renames and local moves). Renames a special link
+    /// without touching its target, per §4.1.4.
+    RenameLocal {
+        /// Source virtual path.
+        from: String,
+        /// Destination virtual path.
+        to: String,
+    },
+    /// Rename the materialized directory of an anchor hosted on this node
+    /// (the "rename on B" half of §4.1.4's two-node link rename).
+    RenameAnchorDir {
+        /// Current anchor virtual path.
+        from: String,
+        /// New anchor virtual path.
+        to: String,
+    },
+    /// Resolution/fault handling: make sure this node serves the anchor
+    /// at `path`. If the anchor is in the store, a no-op; if it is only in
+    /// the replica area, promote it (§4.4); if it is the root anchor and
+    /// absent everywhere, create it empty. Replies `DoneBool(promoted)`;
+    /// fails with `NoEnt` if the anchor cannot be served.
+    EnsureAnchor {
+        /// Anchor virtual path.
+        path: String,
+        /// Routing name the caller used to reach this node.
+        routing: String,
+    },
+    /// Query `(capacity, used, free)` of this node's contributed space —
+    /// the fullness test behind redirection (§3.3).
+    StoreStats,
+    /// Migration: begin receiving an anchor subtree into the store.
+    BeginTransfer {
+        /// Anchor virtual path.
+        path: String,
+    },
+    /// Migration: one object of the subtree.
+    TransferPut {
+        /// Anchor virtual path.
+        path: String,
+        /// The object.
+        item: MigrateItem,
+    },
+    /// Migration: subtree complete; adopt the anchor (record routing name,
+    /// clear flags, start replicating it).
+    CommitTransfer {
+        /// Anchor virtual path.
+        path: String,
+        /// Routing name of the anchor.
+        routing_name: String,
+    },
+    /// Introspection: list `(anchor_path, routing_name)` pairs hosted
+    /// here (tests and experiment harnesses).
+    ListAnchors,
+    /// Ask the primary for the current replica holders of the anchor
+    /// covering `path` (read-from-replica optimization, §4.2).
+    ReplicaTargets {
+        /// Virtual path whose covering anchor's replicas are wanted.
+        path: String,
+    },
+}
+
+impl WireWrite for KoshaRequest {
+    fn write(&self, w: &mut Writer) {
+        match self {
+            KoshaRequest::CreateFile {
+                path,
+                mode,
+                uid,
+                gid,
+                size,
+            } => {
+                w.u8(0);
+                w.string(path);
+                w.u32(*mode);
+                w.u32(*uid);
+                w.u32(*gid);
+                w.option(size);
+            }
+            KoshaRequest::MkdirLocal {
+                path,
+                mode,
+                uid,
+                gid,
+            } => {
+                w.u8(1);
+                w.string(path);
+                w.u32(*mode);
+                w.u32(*uid);
+                w.u32(*gid);
+            }
+            KoshaRequest::MkdirAnchor {
+                path,
+                routing_name,
+                mode,
+                uid,
+                gid,
+            } => {
+                w.u8(2);
+                w.string(path);
+                w.string(routing_name);
+                w.u32(*mode);
+                w.u32(*uid);
+                w.u32(*gid);
+            }
+            KoshaRequest::PlaceLink {
+                path,
+                target,
+                uid,
+                gid,
+            } => {
+                w.u8(3);
+                w.string(path);
+                w.string(target);
+                w.u32(*uid);
+                w.u32(*gid);
+            }
+            KoshaRequest::SymlinkFile {
+                path,
+                target,
+                uid,
+                gid,
+            } => {
+                w.u8(4);
+                w.string(path);
+                w.string(target);
+                w.u32(*uid);
+                w.u32(*gid);
+            }
+            KoshaRequest::Write { path, offset, data } => {
+                w.u8(5);
+                w.string(path);
+                w.u64(*offset);
+                w.bytes(data);
+            }
+            KoshaRequest::SetAttr { path, sattr } => {
+                w.u8(6);
+                w.string(path);
+                w.value(sattr);
+            }
+            KoshaRequest::Remove { path } => {
+                w.u8(7);
+                w.string(path);
+            }
+            KoshaRequest::Rmdir { path } => {
+                w.u8(8);
+                w.string(path);
+            }
+            KoshaRequest::RmdirAnchor { path } => {
+                w.u8(9);
+                w.string(path);
+            }
+            KoshaRequest::RemoveLink { path } => {
+                w.u8(10);
+                w.string(path);
+            }
+            KoshaRequest::RenameLocal { from, to } => {
+                w.u8(11);
+                w.string(from);
+                w.string(to);
+            }
+            KoshaRequest::RenameAnchorDir { from, to } => {
+                w.u8(12);
+                w.string(from);
+                w.string(to);
+            }
+            KoshaRequest::EnsureAnchor { path, routing } => {
+                w.u8(13);
+                w.string(path);
+                w.string(routing);
+            }
+            KoshaRequest::StoreStats => w.u8(14),
+            KoshaRequest::BeginTransfer { path } => {
+                w.u8(15);
+                w.string(path);
+            }
+            KoshaRequest::TransferPut { path, item } => {
+                w.u8(16);
+                w.string(path);
+                w.value(item);
+            }
+            KoshaRequest::CommitTransfer { path, routing_name } => {
+                w.u8(17);
+                w.string(path);
+                w.string(routing_name);
+            }
+            KoshaRequest::ListAnchors => w.u8(18),
+            KoshaRequest::ReplicaTargets { path } => {
+                w.u8(19);
+                w.string(path);
+            }
+        }
+    }
+}
+
+impl WireRead for KoshaRequest {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => KoshaRequest::CreateFile {
+                path: r.string()?,
+                mode: r.u32()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+                size: r.option()?,
+            },
+            1 => KoshaRequest::MkdirLocal {
+                path: r.string()?,
+                mode: r.u32()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+            },
+            2 => KoshaRequest::MkdirAnchor {
+                path: r.string()?,
+                routing_name: r.string()?,
+                mode: r.u32()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+            },
+            3 => KoshaRequest::PlaceLink {
+                path: r.string()?,
+                target: r.string()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+            },
+            4 => KoshaRequest::SymlinkFile {
+                path: r.string()?,
+                target: r.string()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+            },
+            5 => KoshaRequest::Write {
+                path: r.string()?,
+                offset: r.u64()?,
+                data: r.bytes()?,
+            },
+            6 => KoshaRequest::SetAttr {
+                path: r.string()?,
+                sattr: r.value()?,
+            },
+            7 => KoshaRequest::Remove { path: r.string()? },
+            8 => KoshaRequest::Rmdir { path: r.string()? },
+            9 => KoshaRequest::RmdirAnchor { path: r.string()? },
+            10 => KoshaRequest::RemoveLink { path: r.string()? },
+            11 => KoshaRequest::RenameLocal {
+                from: r.string()?,
+                to: r.string()?,
+            },
+            12 => KoshaRequest::RenameAnchorDir {
+                from: r.string()?,
+                to: r.string()?,
+            },
+            13 => KoshaRequest::EnsureAnchor {
+                path: r.string()?,
+                routing: r.string()?,
+            },
+            14 => KoshaRequest::StoreStats,
+            15 => KoshaRequest::BeginTransfer { path: r.string()? },
+            16 => KoshaRequest::TransferPut {
+                path: r.string()?,
+                item: r.value()?,
+            },
+            17 => KoshaRequest::CommitTransfer {
+                path: r.string()?,
+                routing_name: r.string()?,
+            },
+            18 => KoshaRequest::ListAnchors,
+            19 => KoshaRequest::ReplicaTargets { path: r.string()? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Successful control replies; the wire frame is
+/// `Result<KoshaReply, NfsStatus>` like the NFS reply frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KoshaReply {
+    /// Acknowledged.
+    Done,
+    /// A created object's real handle and attributes (CreateFile,
+    /// MkdirLocal) — saves the caller a LOOKUP round trip, like NFS
+    /// CREATE's post-op handle.
+    Handle {
+        /// Real handle on the replying node.
+        fh: Fh,
+        /// Attributes at creation.
+        attr: WireAttr,
+    },
+    /// Boolean outcome (promotion happened or not).
+    DoneBool(bool),
+    /// Store statistics.
+    Stats {
+        /// Total contributed bytes.
+        capacity: u64,
+        /// Bytes used.
+        used: u64,
+        /// Bytes free.
+        free: u64,
+    },
+    /// Hosted anchors: `(virtual path, routing name)`.
+    Anchors(Vec<(String, String)>),
+    /// Node addresses (replica holders).
+    Nodes(Vec<kosha_rpc::NodeAddr>),
+}
+
+impl WireWrite for KoshaReply {
+    fn write(&self, w: &mut Writer) {
+        match self {
+            KoshaReply::Done => w.u8(0),
+            KoshaReply::Handle { fh, attr } => {
+                w.u8(4);
+                w.value(fh);
+                w.value(attr);
+            }
+            KoshaReply::DoneBool(b) => {
+                w.u8(1);
+                w.boolean(*b);
+            }
+            KoshaReply::Stats {
+                capacity,
+                used,
+                free,
+            } => {
+                w.u8(2);
+                w.u64(*capacity);
+                w.u64(*used);
+                w.u64(*free);
+            }
+            KoshaReply::Anchors(v) => {
+                w.u8(3);
+                w.u32(v.len() as u32);
+                for (p, r) in v {
+                    w.string(p);
+                    w.string(r);
+                }
+            }
+            KoshaReply::Nodes(v) => {
+                w.u8(5);
+                w.seq(v);
+            }
+        }
+    }
+}
+impl WireRead for KoshaReply {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => KoshaReply::Done,
+            4 => KoshaReply::Handle {
+                fh: r.value()?,
+                attr: r.value()?,
+            },
+            1 => KoshaReply::DoneBool(r.boolean()?),
+            2 => KoshaReply::Stats {
+                capacity: r.u64()?,
+                used: r.u64()?,
+                free: r.u64()?,
+            },
+            3 => {
+                let n = r.u32()? as usize;
+                let mut v = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    v.push((r.string()?, r.string()?));
+                }
+                KoshaReply::Anchors(v)
+            }
+            5 => KoshaReply::Nodes(r.seq()?),
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+/// Wire frame for control replies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KoshaReplyFrame(pub Result<KoshaReply, kosha_nfs::NfsStatus>);
+
+impl WireWrite for KoshaReplyFrame {
+    fn write(&self, w: &mut Writer) {
+        match &self.0 {
+            Ok(rep) => {
+                w.u8(0);
+                w.value(rep);
+            }
+            Err(status) => {
+                // Reuse the NFS frame encoding for the status byte.
+                let frame = kosha_nfs::messages::NfsReplyFrame(Err(*status));
+                let enc = frame.encode();
+                w.u8(enc[0]);
+            }
+        }
+    }
+}
+impl WireRead for KoshaReplyFrame {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        // Peek the status byte via the NFS frame decoder's convention.
+        let tag = r.u8()?;
+        if tag == 0 {
+            Ok(KoshaReplyFrame(Ok(r.value()?)))
+        } else {
+            let frame = kosha_nfs::messages::NfsReplyFrame::decode(&[tag])?;
+            match frame.0 {
+                Err(s) => Ok(KoshaReplyFrame(Err(s))),
+                Ok(_) => Err(WireError::BadTag(tag)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosha_nfs::NfsStatus;
+    use kosha_vfs::SetAttr;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            KoshaRequest::CreateFile {
+                path: "/a/f".into(),
+                mode: 0o644,
+                uid: 1,
+                gid: 2,
+                size: Some(100),
+            },
+            KoshaRequest::MkdirLocal {
+                path: "/a/b/c".into(),
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+            },
+            KoshaRequest::MkdirAnchor {
+                path: "/a".into(),
+                routing_name: "a#77".into(),
+                mode: 0o755,
+                uid: 0,
+                gid: 0,
+            },
+            KoshaRequest::PlaceLink {
+                path: "/a".into(),
+                target: "a#77".into(),
+                uid: 0,
+                gid: 0,
+            },
+            KoshaRequest::SymlinkFile {
+                path: "/a/l".into(),
+                target: "whatever".into(),
+                uid: 0,
+                gid: 0,
+            },
+            KoshaRequest::Write {
+                path: "/a/f".into(),
+                offset: 9,
+                data: vec![1, 2],
+            },
+            KoshaRequest::SetAttr {
+                path: "/a/f".into(),
+                sattr: WireSetAttr(SetAttr {
+                    size: Some(3),
+                    ..Default::default()
+                }),
+            },
+            KoshaRequest::Remove { path: "/a/f".into() },
+            KoshaRequest::Rmdir { path: "/a/d".into() },
+            KoshaRequest::RmdirAnchor { path: "/a".into() },
+            KoshaRequest::RemoveLink { path: "/a".into() },
+            KoshaRequest::RenameLocal {
+                from: "/a/x".into(),
+                to: "/a/y".into(),
+            },
+            KoshaRequest::RenameAnchorDir {
+                from: "/a".into(),
+                to: "/b".into(),
+            },
+            KoshaRequest::EnsureAnchor {
+                path: "/a".into(),
+                routing: "a#3".into(),
+            },
+            KoshaRequest::StoreStats,
+            KoshaRequest::BeginTransfer { path: "/a".into() },
+            KoshaRequest::TransferPut {
+                path: "/a".into(),
+                item: MigrateItem {
+                    rel_path: "x/f".into(),
+                    kind: MigrateKind::Bytes(vec![7; 9]),
+                    mode: 0o644,
+                    uid: 3,
+                    gid: 4,
+                },
+            },
+            KoshaRequest::CommitTransfer {
+                path: "/a".into(),
+                routing_name: "a".into(),
+            },
+            KoshaRequest::ListAnchors,
+            KoshaRequest::ReplicaTargets { path: "/a".into() },
+        ];
+        for req in reqs {
+            let b = req.encode();
+            assert_eq!(KoshaRequest::decode(&b).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for frame in [
+            KoshaReplyFrame(Ok(KoshaReply::Done)),
+            KoshaReplyFrame(Ok(KoshaReply::DoneBool(true))),
+            KoshaReplyFrame(Ok(KoshaReply::Stats {
+                capacity: 10,
+                used: 3,
+                free: 7,
+            })),
+            KoshaReplyFrame(Ok(KoshaReply::Anchors(vec![(
+                "/a".into(),
+                "a#1".into(),
+            )]))),
+            KoshaReplyFrame(Ok(KoshaReply::Nodes(vec![
+                kosha_rpc::NodeAddr(3),
+                kosha_rpc::NodeAddr(9),
+            ]))),
+            KoshaReplyFrame(Err(NfsStatus::NoSpc)),
+            KoshaReplyFrame(Err(NfsStatus::NotEmpty)),
+        ] {
+            let b = frame.encode();
+            assert_eq!(KoshaReplyFrame::decode(&b).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn migrate_items_round_trip() {
+        for kind in [
+            MigrateKind::Dir,
+            MigrateKind::Bytes(vec![1, 2, 3]),
+            MigrateKind::Sparse(1 << 40),
+            MigrateKind::Symlink {
+                target: "t#1".into(),
+            },
+        ] {
+            let item = MigrateItem {
+                rel_path: "a/b".into(),
+                kind,
+                mode: 0o755,
+                uid: 1,
+                gid: 2,
+            };
+            let b = item.encode();
+            assert_eq!(MigrateItem::decode(&b).unwrap(), item);
+        }
+    }
+}

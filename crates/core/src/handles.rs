@@ -1,0 +1,267 @@
+//! The virtual file handle table (§4.1.2).
+//!
+//! NFS handles are opaque, so koshad hands its clients *virtual* handles
+//! and keeps the mapping `virtual handle → (full path, real location)`.
+//! The indirection is what buys location transparency: when a primary
+//! fails, the table entry's cached location is dropped and the next use
+//! re-resolves the stored path — which now routes to a replica (§4.4).
+//! The table also stores the full path of every object because NFSv3
+//! lookups only carry `(parent handle, name)` (§4.1.3).
+
+use kosha_nfs::Fh;
+use kosha_rpc::NodeAddr;
+use kosha_vfs::FileType;
+use std::collections::HashMap;
+
+/// Where an object currently lives: the node and the real NFS handle on
+/// that node's store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// The node holding the primary copy.
+    pub addr: NodeAddr,
+    /// Real file handle within that node's store export.
+    pub fh: Fh,
+}
+
+/// One virtual-handle table entry.
+#[derive(Debug, Clone)]
+pub struct VhEntry {
+    /// Full virtual path (relative to `/kosha`).
+    pub path: String,
+    /// Object type at mint time.
+    pub ftype: FileType,
+    /// Cached real location; `None` after a failure until re-resolved.
+    pub loc: Option<Location>,
+}
+
+/// The virtual-handle table. Handles are never reused within a session;
+/// looking up the same path returns the same handle (NFS clients rely on
+/// handle equality for cache identity).
+#[derive(Debug, Default)]
+pub struct HandleTable {
+    next: u64,
+    entries: HashMap<u64, VhEntry>,
+    by_path: HashMap<String, u64>,
+}
+
+/// Generation stamped into virtual handles (they outlive store purges; a
+/// virtual handle only dies with the koshad process, §4.4: "virtual
+/// handles need not be persistent").
+pub const VIRTUAL_GEN: u32 = 0xA0A0;
+
+impl HandleTable {
+    /// Empty table. Handle 1 is pre-minted for the virtual root `/`.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut t = HandleTable {
+            next: 1,
+            entries: HashMap::new(),
+            by_path: HashMap::new(),
+        };
+        t.mint("/", FileType::Directory);
+        t
+    }
+
+    /// The virtual root handle.
+    #[must_use]
+    pub fn root(&self) -> Fh {
+        Fh {
+            ino: 1,
+            gen: VIRTUAL_GEN,
+        }
+    }
+
+    /// Returns the existing handle for `path` or mints a new one.
+    pub fn mint(&mut self, path: &str, ftype: FileType) -> Fh {
+        if let Some(&vh) = self.by_path.get(path) {
+            if let Some(e) = self.entries.get_mut(&vh) {
+                e.ftype = ftype;
+            }
+            return Fh {
+                ino: vh,
+                gen: VIRTUAL_GEN,
+            };
+        }
+        let vh = self.next;
+        self.next += 1;
+        self.entries.insert(
+            vh,
+            VhEntry {
+                path: path.to_string(),
+                ftype,
+                loc: None,
+            },
+        );
+        self.by_path.insert(path.to_string(), vh);
+        Fh {
+            ino: vh,
+            gen: VIRTUAL_GEN,
+        }
+    }
+
+    /// Looks up an entry; `None` for unknown or non-virtual handles.
+    #[must_use]
+    pub fn get(&self, fh: Fh) -> Option<&VhEntry> {
+        if fh.gen != VIRTUAL_GEN {
+            return None;
+        }
+        self.entries.get(&fh.ino)
+    }
+
+    /// Caches the real location for a handle's object.
+    pub fn set_location(&mut self, fh: Fh, loc: Location) {
+        if let Some(e) = self.entries.get_mut(&fh.ino) {
+            e.loc = Some(loc);
+        }
+    }
+
+    /// Drops the cached location of one handle (the §4.4 failure step:
+    /// "Kosha detects an RPC error and removes the mapping for the
+    /// virtual handle").
+    pub fn clear_location(&mut self, fh: Fh) {
+        if let Some(e) = self.entries.get_mut(&fh.ino) {
+            e.loc = None;
+        }
+    }
+
+    /// Drops every cached location in the table (full cache flush).
+    pub fn clear_locations_everywhere(&mut self) {
+        for e in self.entries.values_mut() {
+            e.loc = None;
+        }
+    }
+
+    /// Drops every cached location pointing at a failed node.
+    pub fn clear_locations_at(&mut self, addr: NodeAddr) {
+        for e in self.entries.values_mut() {
+            if e.loc.map(|l| l.addr) == Some(addr) {
+                e.loc = None;
+            }
+        }
+    }
+
+    /// Rewrites paths after a rename: `old` itself and everything under
+    /// it move beneath `new`. Cached locations of rewritten entries are
+    /// dropped (handles on the destination must re-resolve).
+    pub fn rename_subtree(&mut self, old: &str, new: &str) {
+        let prefix = format!("{old}/");
+        let affected: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.path == old || e.path.starts_with(&prefix))
+            .map(|(&vh, _)| vh)
+            .collect();
+        for vh in affected {
+            let e = self.entries.get_mut(&vh).expect("present");
+            let old_path = e.path.clone();
+            let new_path = if old_path == old {
+                new.to_string()
+            } else {
+                format!("{new}{}", &old_path[old.len()..])
+            };
+            e.path = new_path.clone();
+            e.loc = None;
+            self.by_path.remove(&old_path);
+            self.by_path.insert(new_path, vh);
+        }
+    }
+
+    /// Forgets `path` and its whole subtree (after remove/rmdir). The
+    /// handles stay allocated but become dangling, matching NFS stale
+    /// handle semantics for deleted objects.
+    pub fn forget_subtree(&mut self, path: &str) {
+        let prefix = format!("{path}/");
+        let affected: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.path == path || e.path.starts_with(&prefix))
+            .map(|(&vh, _)| vh)
+            .collect();
+        for vh in affected {
+            if let Some(e) = self.entries.remove(&vh) {
+                self.by_path.remove(&e.path);
+            }
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if only the root entry exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_stable_per_path() {
+        let mut t = HandleTable::new();
+        let a = t.mint("/x", FileType::Regular);
+        let b = t.mint("/x", FileType::Regular);
+        assert_eq!(a, b);
+        let c = t.mint("/y", FileType::Directory);
+        assert_ne!(a, c);
+        assert_eq!(t.get(a).unwrap().path, "/x");
+    }
+
+    #[test]
+    fn root_premade() {
+        let t = HandleTable::new();
+        assert_eq!(t.get(t.root()).unwrap().path, "/");
+    }
+
+    #[test]
+    fn non_virtual_gen_rejected() {
+        let t = HandleTable::new();
+        let bogus = Fh { ino: 1, gen: 1 };
+        assert!(t.get(bogus).is_none());
+    }
+
+    #[test]
+    fn location_lifecycle() {
+        let mut t = HandleTable::new();
+        let fh = t.mint("/f", FileType::Regular);
+        let loc = Location {
+            addr: NodeAddr(3),
+            fh: Fh { ino: 9, gen: 1 },
+        };
+        t.set_location(fh, loc);
+        assert_eq!(t.get(fh).unwrap().loc, Some(loc));
+        t.clear_locations_at(NodeAddr(3));
+        assert_eq!(t.get(fh).unwrap().loc, None);
+    }
+
+    #[test]
+    fn rename_subtree_rewrites_paths() {
+        let mut t = HandleTable::new();
+        let d = t.mint("/a", FileType::Directory);
+        let f = t.mint("/a/f", FileType::Regular);
+        let other = t.mint("/ab", FileType::Regular); // prefix trap
+        t.rename_subtree("/a", "/z");
+        assert_eq!(t.get(d).unwrap().path, "/z");
+        assert_eq!(t.get(f).unwrap().path, "/z/f");
+        assert_eq!(t.get(other).unwrap().path, "/ab");
+        // Re-minting the new path returns the moved handle.
+        assert_eq!(t.mint("/z/f", FileType::Regular), f);
+    }
+
+    #[test]
+    fn forget_subtree_removes_entries() {
+        let mut t = HandleTable::new();
+        let d = t.mint("/a", FileType::Directory);
+        let f = t.mint("/a/f", FileType::Regular);
+        let keep = t.mint("/ab", FileType::Regular);
+        t.forget_subtree("/a");
+        assert!(t.get(d).is_none());
+        assert!(t.get(f).is_none());
+        assert!(t.get(keep).is_some());
+    }
+}

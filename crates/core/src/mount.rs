@@ -1,0 +1,363 @@
+//! `KoshaMount`: the application-side view of the `/kosha` mount point.
+//!
+//! In the paper, applications reach Kosha through the kernel's NFS client
+//! talking to the koshad loopback server (Figure 4). `KoshaMount` plays
+//! the kernel-NFS-client role: it speaks the NFS protocol to the local
+//! node's [`kosha_rpc::ServiceId::KoshaFs`] service, caches directory
+//! handles exactly as a kernel client caches lookups, and exposes a
+//! path-level convenience API that examples and workloads drive.
+
+use kosha_nfs::client::ClientDirEntry;
+use kosha_nfs::{Fh, NfsClient, NfsError, NfsResult, NfsStatus};
+use kosha_rpc::{Network, NodeAddr, ServiceId};
+use kosha_vfs::path::{parent_and_name, split_path};
+use kosha_vfs::{normalize, Attr, FileType, SetAttr};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A mounted view of `/kosha` through one node's koshad.
+///
+/// ```
+/// use kosha::{KoshaConfig, KoshaMount, KoshaNode};
+/// use kosha_id::node_id_from_seed;
+/// use kosha_rpc::{Network, NodeAddr, SimNetwork};
+/// use std::sync::Arc;
+///
+/// // One-machine deployment for brevity; see the examples/ directory
+/// // for multi-node clusters.
+/// let net = SimNetwork::new_zero_latency();
+/// let (node, mux) = KoshaNode::build(
+///     KoshaConfig::for_tests(),
+///     node_id_from_seed("doc-host"),
+///     NodeAddr(0),
+///     net.clone() as Arc<dyn Network>,
+/// );
+/// net.attach(node.addr(), mux);
+/// node.join(None).unwrap();
+///
+/// let m = KoshaMount::new(net as Arc<dyn Network>, NodeAddr(0), NodeAddr(0)).unwrap();
+/// m.mkdir_p("/docs").unwrap();
+/// m.write_file("/docs/hello.txt", b"hi").unwrap();
+/// assert_eq!(m.read_file("/docs/hello.txt").unwrap(), b"hi");
+/// ```
+pub struct KoshaMount {
+    nfs: NfsClient,
+    koshad: NodeAddr,
+    root: Fh,
+    /// Directory-handle cache (the kernel NFS client's dcache analogue).
+    dcache: Mutex<HashMap<String, Fh>>,
+    /// Default identity for operations.
+    uid: u32,
+    /// Default group.
+    gid: u32,
+    /// Transfer chunk for whole-file helpers.
+    chunk: u32,
+}
+
+impl KoshaMount {
+    /// Mounts the virtual file system exported by the koshad at
+    /// `koshad` (normally the caller's own machine — the loopback).
+    pub fn new(net: Arc<dyn Network>, client_addr: NodeAddr, koshad: NodeAddr) -> NfsResult<Self> {
+        let nfs = NfsClient::with_service(net, client_addr, ServiceId::KoshaFs);
+        let root = nfs.mount(koshad)?;
+        Ok(KoshaMount {
+            nfs,
+            koshad,
+            root,
+            dcache: Mutex::new(HashMap::new()),
+            uid: 0,
+            gid: 0,
+            chunk: 32 * 1024,
+        })
+    }
+
+    /// Sets the identity used for subsequent creations.
+    pub fn set_identity(&mut self, uid: u32, gid: u32) {
+        self.uid = uid;
+        self.gid = gid;
+    }
+
+    /// The virtual root handle.
+    #[must_use]
+    pub fn root(&self) -> Fh {
+        self.root
+    }
+
+    fn cached_dir(&self, path: &str) -> Option<Fh> {
+        self.dcache.lock().get(path).copied()
+    }
+
+    fn cache_dir(&self, path: &str, fh: Fh) {
+        self.dcache.lock().insert(path.to_string(), fh);
+    }
+
+    fn drop_cache_subtree(&self, path: &str) {
+        let prefix = format!("{path}/");
+        self.dcache
+            .lock()
+            .retain(|p, _| p != path && !p.starts_with(&prefix));
+    }
+
+    /// Resolves a directory path to its (virtual) handle, caching
+    /// intermediate directories like a kernel NFS client.
+    pub fn dir_handle(&self, path: &str) -> NfsResult<Fh> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        if path == "/" {
+            return Ok(self.root);
+        }
+        if let Some(fh) = self.cached_dir(&path) {
+            return Ok(fh);
+        }
+        let comps = split_path(&path).map_err(|e| NfsError::Status(e.into()))?;
+        let mut cur = self.root;
+        let mut cur_path = String::new();
+        for c in comps {
+            cur_path.push('/');
+            cur_path.push_str(c);
+            cur = match self.cached_dir(&cur_path) {
+                Some(fh) => fh,
+                None => {
+                    let (fh, attr) = self.nfs.lookup(self.koshad, cur, c)?;
+                    if attr.ftype != FileType::Directory {
+                        return Err(NfsError::Status(NfsStatus::NotDir));
+                    }
+                    self.cache_dir(&cur_path, fh);
+                    fh
+                }
+            };
+        }
+        Ok(cur)
+    }
+
+    /// LOOKUP of an arbitrary path, returning `(handle, attributes)`.
+    pub fn stat(&self, path: &str) -> NfsResult<(Fh, Attr)> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        if path == "/" {
+            let attr = self.nfs.getattr(self.koshad, self.root)?;
+            return Ok((self.root, attr));
+        }
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        self.nfs.lookup(self.koshad, dir, name)
+    }
+
+    /// True if the path resolves.
+    #[must_use]
+    pub fn exists(&self, path: &str) -> bool {
+        self.stat(path).is_ok()
+    }
+
+    /// Creates a directory (parents must exist).
+    pub fn mkdir(&self, path: &str) -> NfsResult<Fh> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        let (fh, _) = self
+            .nfs
+            .mkdir(self.koshad, dir, name, 0o755, self.uid, self.gid)?;
+        self.cache_dir(&path, fh);
+        Ok(fh)
+    }
+
+    /// Creates a directory and any missing ancestors.
+    pub fn mkdir_p(&self, path: &str) -> NfsResult<Fh> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        if path == "/" {
+            return Ok(self.root);
+        }
+        let comps = split_path(&path).map_err(|e| NfsError::Status(e.into()))?;
+        let mut cur = self.root;
+        let mut cur_path = String::new();
+        for c in comps {
+            cur_path.push('/');
+            cur_path.push_str(c);
+            cur = match self.nfs.lookup(self.koshad, cur, c) {
+                Ok((fh, attr)) => {
+                    if attr.ftype != FileType::Directory {
+                        return Err(NfsError::Status(NfsStatus::NotDir));
+                    }
+                    fh
+                }
+                Err(NfsError::Status(NfsStatus::NoEnt)) => {
+                    self.nfs
+                        .mkdir(self.koshad, cur, c, 0o755, self.uid, self.gid)?
+                        .0
+                }
+                Err(e) => return Err(e),
+            };
+            self.cache_dir(&cur_path, cur);
+        }
+        Ok(cur)
+    }
+
+    /// Creates an empty file (parents must exist), returning its handle.
+    pub fn create(&self, path: &str) -> NfsResult<Fh> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        Ok(self
+            .nfs
+            .create(self.koshad, dir, name, 0o644, self.uid, self.gid)?
+            .0)
+    }
+
+    /// Creates a quota-charged sparse file of `size` bytes (simulation
+    /// workloads).
+    pub fn create_sized(&self, path: &str, size: u64) -> NfsResult<Fh> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        Ok(self
+            .nfs
+            .create_sized(self.koshad, dir, name, size, 0o644, self.uid, self.gid)?
+            .0)
+    }
+
+    /// Writes an entire file (creating it if missing), chunked like an
+    /// NFS client. Creation is attempted first — the common case when
+    /// populating a tree — falling back to truncate-and-rewrite when the
+    /// file already exists.
+    pub fn write_file(&self, path: &str, data: &[u8]) -> NfsResult<Fh> {
+        let fh = match self.create(path) {
+            Ok(fh) => fh,
+            Err(NfsError::Status(NfsStatus::Exist)) => {
+                let (fh, attr) = self.stat(path)?;
+                if attr.ftype != FileType::Regular {
+                    return Err(NfsError::Status(NfsStatus::IsDir));
+                }
+                if attr.size > 0 {
+                    self.nfs.setattr(
+                        self.koshad,
+                        fh,
+                        SetAttr {
+                            size: Some(0),
+                            ..Default::default()
+                        },
+                    )?;
+                }
+                fh
+            }
+            Err(e) => return Err(e),
+        };
+        let mut off = 0usize;
+        while off < data.len() {
+            let end = (off + self.chunk as usize).min(data.len());
+            self.nfs.write(self.koshad, fh, off as u64, &data[off..end])?;
+            off = end;
+        }
+        Ok(fh)
+    }
+
+    /// Reads an entire file.
+    pub fn read_file(&self, path: &str) -> NfsResult<Vec<u8>> {
+        let (fh, attr) = self.stat(path)?;
+        if attr.ftype != FileType::Regular {
+            return Err(NfsError::Status(NfsStatus::IsDir));
+        }
+        let mut out = Vec::with_capacity(attr.size as usize);
+        let mut off = 0u64;
+        loop {
+            let (data, eof) = self.nfs.read(self.koshad, fh, off, self.chunk)?;
+            off += data.len() as u64;
+            out.extend_from_slice(&data);
+            if eof || data.is_empty() {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads a byte range.
+    pub fn read_at(&self, path: &str, offset: u64, count: u32) -> NfsResult<Vec<u8>> {
+        let (fh, _) = self.stat(path)?;
+        Ok(self.nfs.read(self.koshad, fh, offset, count)?.0)
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&self, path: &str) -> NfsResult<Vec<ClientDirEntry>> {
+        let dir = self.dir_handle(path)?;
+        self.nfs.readdir(self.koshad, dir)
+    }
+
+    /// Removes a file or symlink.
+    pub fn remove(&self, path: &str) -> NfsResult<()> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        self.nfs.remove(self.koshad, dir, name)?;
+        self.drop_cache_subtree(&path);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> NfsResult<()> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        self.nfs.rmdir(self.koshad, dir, name)?;
+        self.dcache.lock().remove(&path);
+        self.drop_cache_subtree(&path);
+        Ok(())
+    }
+
+    /// Recursively removes a subtree.
+    pub fn remove_tree(&self, path: &str) -> NfsResult<()> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        self.nfs.remove_tree(self.koshad, dir, name)?;
+        self.drop_cache_subtree(&path);
+        self.dcache.lock().remove(&path);
+        Ok(())
+    }
+
+    /// Renames a file or directory.
+    pub fn rename(&self, from: &str, to: &str) -> NfsResult<()> {
+        let from = normalize(from).map_err(|e| NfsError::Status(e.into()))?;
+        let to = normalize(to).map_err(|e| NfsError::Status(e.into()))?;
+        let (fp, fname) = parent_and_name(&from).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let (tp, tname) = parent_and_name(&to).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let sdir = self.dir_handle(fp)?;
+        let ddir = self.dir_handle(tp)?;
+        self.nfs.rename(self.koshad, sdir, fname, ddir, tname)?;
+        self.drop_cache_subtree(&from);
+        self.drop_cache_subtree(&to);
+        self.dcache.lock().remove(&from);
+        Ok(())
+    }
+
+    /// Creates a symlink.
+    pub fn symlink(&self, path: &str, target: &str) -> NfsResult<Fh> {
+        let path = normalize(path).map_err(|e| NfsError::Status(e.into()))?;
+        let (pp, name) = parent_and_name(&path).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let dir = self.dir_handle(pp)?;
+        Ok(self
+            .nfs
+            .symlink(self.koshad, dir, name, target, 0o777, self.uid, self.gid)?
+            .0)
+    }
+
+    /// Reads a symlink target.
+    pub fn readlink(&self, path: &str) -> NfsResult<String> {
+        let (fh, _) = self.stat(path)?;
+        self.nfs.readlink(self.koshad, fh)
+    }
+
+    /// Updates attributes.
+    pub fn setattr(&self, path: &str, sattr: SetAttr) -> NfsResult<Attr> {
+        let (fh, _) = self.stat(path)?;
+        self.nfs.setattr(self.koshad, fh, sattr)
+    }
+
+    /// ACCESS check for the mount's identity on `path`.
+    pub fn access(&self, path: &str, want: u32) -> NfsResult<u32> {
+        let (fh, _) = self.stat(path)?;
+        self.nfs.access(self.koshad, fh, self.uid, self.gid, want)
+    }
+
+    /// Aggregate `(capacity, used, free)` of the visible storage pool.
+    pub fn fsstat(&self) -> NfsResult<(u64, u64, u64)> {
+        self.nfs.fsstat(self.koshad)
+    }
+}

@@ -1,0 +1,208 @@
+//! The per-machine Kosha daemon (`koshad`) and its wiring.
+
+use crate::config::KoshaConfig;
+use crate::handles::{HandleTable, Location};
+use crate::stats::{KoshaStats, StatsSnapshot};
+use kosha_id::Id;
+use kosha_nfs::{DiskModel, NfsClient, NfsServer};
+use kosha_pastry::{NodeInfo, OverlayError, OverlayObserver, PastryConfig, PastryNode};
+use kosha_rpc::{Network, NodeAddr, ServiceId, ServiceMux};
+use kosha_vfs::Vfs;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Weak};
+
+/// Client-side (interposition) state: the virtual handle table and the
+/// resolution caches.
+pub(crate) struct ClientState {
+    /// Virtual handle table (§4.1.2).
+    pub handles: HandleTable,
+    /// Cache: virtual directory path → real location of its listing.
+    pub dir_cache: HashMap<String, Location>,
+    /// Cache: node address → handle of its `/kosha_store` export root.
+    pub root_cache: HashMap<NodeAddr, kosha_nfs::Fh>,
+}
+
+/// One machine's Kosha instance: overlay endpoint, real NFS store, and
+/// the koshad interposition layer. Create with [`KoshaNode::build`],
+/// attach the returned mux to the transport, then call
+/// [`KoshaNode::join`].
+pub struct KoshaNode {
+    pub(crate) cfg: KoshaConfig,
+    pub(crate) info: NodeInfo,
+    pub(crate) net: Arc<dyn Network>,
+    pub(crate) pastry: Arc<PastryNode>,
+    pub(crate) store: Arc<NfsServer>,
+    pub(crate) nfs: NfsClient,
+    pub(crate) client: Mutex<ClientState>,
+    /// Anchors this node hosts as primary: virtual path → routing name.
+    pub(crate) anchors: Mutex<BTreeMap<String, String>>,
+    /// Salt source for capacity redirection (seeded from the node id for
+    /// reproducible simulations).
+    pub(crate) salt_rng: Mutex<StdRng>,
+    /// Round-robin counter for read-from-replica selection (§4.2's
+    /// future-work optimization, enabled by
+    /// [`KoshaConfig::read_from_replicas`]).
+    pub(crate) read_rr: std::sync::atomic::AtomicU64,
+    /// Operational counters.
+    pub(crate) stats: KoshaStats,
+}
+
+/// Handler wrapper for the Kosha control service.
+pub(crate) struct ControlService(pub Arc<KoshaNode>);
+/// Handler wrapper for the koshad loopback (virtual `/kosha`) NFS server.
+pub(crate) struct VirtualFs(pub Arc<KoshaNode>);
+
+/// Overlay observer relaying leaf-set changes into replica/migration
+/// maintenance (§4.3).
+struct LeafWatcher(Weak<KoshaNode>);
+
+impl OverlayObserver for LeafWatcher {
+    fn on_leaf_joined(&self, node: NodeInfo) {
+        if let Some(k) = self.0.upgrade() {
+            k.on_leaf_change(Some(node));
+        }
+    }
+    fn on_leaf_left(&self, node: NodeInfo) {
+        if let Some(k) = self.0.upgrade() {
+            let _ = node;
+            k.on_leaf_change(None);
+        }
+    }
+}
+
+impl KoshaNode {
+    /// Builds a node and its service mux. The caller attaches the mux to
+    /// the transport at `addr` and then calls [`KoshaNode::join`].
+    pub fn build(
+        cfg: KoshaConfig,
+        id: Id,
+        addr: NodeAddr,
+        net: Arc<dyn Network>,
+    ) -> (Arc<Self>, Arc<ServiceMux>) {
+        let mut vfs = Vfs::new(cfg.contributed_bytes);
+        vfs.mkdir_p("/kosha_store", 0o755).expect("store area");
+        vfs.mkdir_p("/kosha_replica", 0o700).expect("replica area");
+        let store = NfsServer::new(
+            vfs,
+            net.clock(),
+            DiskModel {
+                bandwidth_bps: cfg.disk_bandwidth_bps,
+                meta_op_cost: cfg.disk_meta_op,
+            },
+        );
+        let pastry = PastryNode::new(
+            PastryConfig {
+                leaf_half: cfg.leaf_half,
+                max_hops: 64,
+                proximity_aware: false,
+            },
+            id,
+            addr,
+            Arc::clone(&net),
+        );
+        let node = Arc::new(KoshaNode {
+            info: pastry.info(),
+            nfs: NfsClient::new(Arc::clone(&net), addr),
+            salt_rng: Mutex::new(StdRng::seed_from_u64(id.0 as u64)),
+            read_rr: std::sync::atomic::AtomicU64::new(0),
+            stats: KoshaStats::default(),
+            cfg,
+            net,
+            pastry: Arc::clone(&pastry),
+            store,
+            client: Mutex::new(ClientState {
+                handles: HandleTable::new(),
+                dir_cache: HashMap::new(),
+                root_cache: HashMap::new(),
+            }),
+            anchors: Mutex::new(BTreeMap::new()),
+        });
+        pastry.add_observer(Arc::new(LeafWatcher(Arc::downgrade(&node))));
+
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Pastry, pastry);
+        mux.register(ServiceId::Nfs, Arc::clone(&node.store) as _);
+        mux.register(ServiceId::Kosha, Arc::new(ControlService(Arc::clone(&node))));
+        mux.register(ServiceId::KoshaFs, Arc::new(VirtualFs(Arc::clone(&node))));
+        (node, mux)
+    }
+
+    /// Joins the overlay (pass `None` to start a new deployment).
+    pub fn join(&self, bootstrap: Option<NodeAddr>) -> Result<(), OverlayError> {
+        self.pastry.join(bootstrap)
+    }
+
+    /// This node's transport address.
+    #[must_use]
+    pub fn addr(&self) -> NodeAddr {
+        self.info.addr
+    }
+
+    /// This node's Pastry identifier.
+    #[must_use]
+    pub fn id(&self) -> Id {
+        self.info.id
+    }
+
+    /// The overlay endpoint (tests and experiments probe it directly).
+    #[must_use]
+    pub fn pastry(&self) -> &Arc<PastryNode> {
+        &self.pastry
+    }
+
+    /// The deployment configuration.
+    #[must_use]
+    pub fn config(&self) -> &KoshaConfig {
+        &self.cfg
+    }
+
+    /// Direct access to the node's local store (administration and test
+    /// inspection; users go through the `/kosha` mount).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut Vfs) -> R) -> R {
+        self.store.with_store(f)
+    }
+
+    /// Runs periodic maintenance: overlay liveness probes plus replica
+    /// refresh for every hosted anchor. Simulations call this after
+    /// failure events, standing in for the paper's background daemon
+    /// activity.
+    pub fn maintain(&self) {
+        self.pastry.maintain();
+        self.on_leaf_change(None);
+    }
+
+    /// Point-in-time operational counters for this koshad.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Anchors hosted on this node as primary: `(path, routing name)`.
+    #[must_use]
+    pub fn hosted_anchors(&self) -> Vec<(String, String)> {
+        self.anchors
+            .lock()
+            .iter()
+            .map(|(p, r)| (p.clone(), r.clone()))
+            .collect()
+    }
+
+    /// Simulates this machine being reincarnated: wipes all Kosha data
+    /// (§4.3: "all Kosha data on a revived node is purged") and rejoins
+    /// the overlay under a new identity is left to the caller (purge only
+    /// here).
+    pub fn purge(&self) {
+        self.store.with_store(|v| {
+            v.purge();
+            v.mkdir_p("/kosha_store", 0o755).expect("store area");
+            v.mkdir_p("/kosha_replica", 0o700).expect("replica area");
+        });
+        self.anchors.lock().clear();
+        let mut c = self.client.lock();
+        c.dir_cache.clear();
+        c.root_cache.clear();
+    }
+}

@@ -1,0 +1,972 @@
+//! Primary-replica duties: executing mutations on the local store,
+//! fanning them out to the K replicas (§4.2), promoting replicas after
+//! failures (§4.4), and migrating anchors when the key space shifts
+//! (§4.3).
+
+use crate::control::{KoshaReply, KoshaReplyFrame, KoshaRequest, MigrateItem, MigrateKind};
+use crate::node::{ControlService, KoshaNode};
+use crate::paths::{anchor_slot, is_internal_name, slot_local_path, Area, ANCHOR_META, MIGRATION_FLAG};
+use kosha_nfs::{Fh, NfsReply, NfsRequest, NfsResult, NfsStatus};
+use kosha_pastry::NodeInfo;
+use kosha_rpc::{NodeAddr, RpcError, RpcHandler, RpcResponse, WireRead};
+use kosha_vfs::path::parent_and_name;
+use kosha_vfs::SetAttr;
+use std::collections::HashMap;
+
+/// Mode bits used for special links (sticky bit marks them).
+pub const SPECIAL_LINK_MODE: u32 = 0o1777;
+/// Mode bits for user symlinks.
+pub const USER_LINK_MODE: u32 = 0o777;
+
+impl KoshaNode {
+    // ---- local store addressing ----------------------------------------
+
+    fn hosted(&self, anchor: &str) -> bool {
+        self.anchors.lock().contains_key(anchor)
+    }
+
+    fn routing_of(&self, anchor: &str) -> Option<String> {
+        self.anchors.lock().get(anchor).cloned()
+    }
+
+    /// Store path of the parent directory of `vpath`, plus the entry
+    /// name. Fails `NoEnt` if this node does not host the covering
+    /// anchor (the caller misrouted or we lost ownership).
+    fn local_entry(&self, area: Area, vpath: &str) -> Result<(String, String), NfsStatus> {
+        let (pp, name) = parent_and_name(vpath).ok_or(NfsStatus::Inval)?;
+        let anchor = self.covering_anchor(pp);
+        if !self.hosted(&anchor) {
+            return Err(NfsStatus::NoEnt);
+        }
+        Ok((slot_local_path(area, &anchor, pp), name.to_string()))
+    }
+
+    /// Store path of an arbitrary object: the slot root for a hosted
+    /// anchor directory, otherwise an entry within its parent's slot.
+    fn local_object(&self, area: Area, vpath: &str) -> Result<String, NfsStatus> {
+        if vpath == "/" || self.hosted(vpath) {
+            let anchor = if vpath == "/" { "/" } else { vpath };
+            if !self.hosted(anchor) {
+                return Err(NfsStatus::NoEnt);
+            }
+            return Ok(slot_local_path(area, anchor, vpath));
+        }
+        let (pdir, name) = self.local_entry(area, vpath)?;
+        Ok(format!("{pdir}/{name}"))
+    }
+
+    fn fh_of(&self, store_path: &str) -> Result<Fh, NfsStatus> {
+        self.store
+            .with_store(|v| v.resolve(store_path))
+            .map(|(id, _)| Fh::from_file_id(id))
+            .map_err(Into::into)
+    }
+
+    fn apply(&self, req: NfsRequest) -> Result<NfsReply, NfsStatus> {
+        self.store.apply(req)
+    }
+
+    // ---- anchor metadata ------------------------------------------------
+
+    fn write_anchor_meta(&self, anchor: &str, routing: &str) -> Result<(), NfsStatus> {
+        let slot_path = slot_local_path(Area::Store, anchor, anchor);
+        let dir = self.fh_of(&slot_path)?;
+        let fh = match self.apply(NfsRequest::Create {
+            dir,
+            name: ANCHOR_META.into(),
+            mode: 0o600,
+            uid: 0,
+            gid: 0,
+        }) {
+            Ok(NfsReply::Handle { fh, .. }) => fh,
+            Err(NfsStatus::Exist) => {
+                let (id, _) = self
+                    .store
+                    .with_store(|v| v.resolve(&format!("{slot_path}/{ANCHOR_META}")))
+                    .map_err(NfsStatus::from)?;
+                Fh::from_file_id(id)
+            }
+            Err(e) => return Err(e),
+            Ok(_) => return Err(NfsStatus::Io),
+        };
+        self.apply(NfsRequest::Setattr {
+            fh,
+            sattr: kosha_nfs::messages::WireSetAttr(SetAttr {
+                size: Some(0),
+                ..Default::default()
+            }),
+        })?;
+        self.apply(NfsRequest::Write {
+            fh,
+            offset: 0,
+            data: routing.as_bytes().to_vec(),
+        })?;
+        Ok(())
+    }
+
+    fn read_anchor_meta(&self, anchor: &str) -> Option<String> {
+        let p = format!(
+            "{}/{ANCHOR_META}",
+            slot_local_path(Area::Store, anchor, anchor)
+        );
+        self.store.with_store(|v| {
+            let (id, attr) = v.resolve(&p).ok()?;
+            let (data, _) = v.read(id, 0, attr.size as u32).ok()?;
+            String::from_utf8(data).ok()
+        })
+    }
+
+    // ---- replication ------------------------------------------------------
+
+    pub(crate) fn replica_addrs(&self) -> Vec<NodeAddr> {
+        self.pastry
+            .replica_targets(self.cfg.replicas)
+            .into_iter()
+            .map(|n| n.addr)
+            .collect()
+    }
+
+    /// Ensures the replica-area directory for `vdir` (≥ its anchor)
+    /// exists on `addr`, returning its handle.
+    fn replica_dir(&self, addr: NodeAddr, anchor: &str, vdir: &str) -> NfsResult<Fh> {
+        let p = slot_local_path(Area::Replica, anchor, vdir);
+        let root = self.nfs.mount(addr)?;
+        self.nfs.mkdir_path(addr, root, &p, 0o700, 0, 0)
+    }
+
+    /// Runs a best-effort mirror action against every replica target.
+    fn mirror(&self, f: impl Fn(&Self, NodeAddr) -> NfsResult<()>) {
+        for addr in self.replica_addrs() {
+            let _ = f(self, addr);
+        }
+    }
+
+    fn mirror_file_write(&self, addr: NodeAddr, anchor: &str, vpath: &str, offset: u64, data: &[u8]) -> NfsResult<()> {
+        let (pp, name) = parent_and_name(vpath).ok_or(NfsStatus::Inval).map_err(kosha_nfs::NfsError::Status)?;
+        let dir = self.replica_dir(addr, anchor, pp)?;
+        let fh = match self.nfs.lookup(addr, dir, name) {
+            Ok((fh, _)) => fh,
+            Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => {
+                self.nfs.create(addr, dir, name, 0o644, 0, 0)?.0
+            }
+            Err(e) => return Err(e),
+        };
+        self.nfs.write(addr, fh, offset, data)?;
+        Ok(())
+    }
+
+    /// Pushes a full, fresh copy of `anchor` to every replica target,
+    /// bracketed by the `MIGRATION_NOT_COMPLETE` flag (§4.4).
+    pub(crate) fn ensure_replicas(&self, anchor: &str) {
+        if self.cfg.replicas == 0 {
+            return;
+        }
+        if self.routing_of(anchor).is_none() {
+            return;
+        }
+        let slot_path = slot_local_path(Area::Store, anchor, anchor);
+        let Ok(items) = self
+            .store
+            .with_store(|v| v.export_tree(&slot_path))
+            .map(|v| v.into_iter().map(MigrateItem::from).collect::<Vec<_>>())
+        else {
+            return;
+        };
+        for addr in self.replica_addrs() {
+            let _ = self.push_replica(addr, anchor, &items);
+        }
+    }
+
+    fn push_replica(&self, addr: NodeAddr, anchor: &str, items: &[MigrateItem]) -> NfsResult<()> {
+        let root = self.nfs.mount(addr)?;
+        let rarea = self
+            .nfs
+            .mkdir_path(addr, root, &format!("/{}", Area::Replica.dir_name()), 0o700, 0, 0)?;
+        let slot = anchor_slot(anchor);
+        // Fresh copy: drop any stale replica first.
+        let _ = self.nfs.remove_tree(addr, rarea, &slot);
+        let (aroot, _) = self.nfs.mkdir(addr, rarea, &slot, 0o700, 0, 0)?;
+        self.nfs.create(addr, aroot, MIGRATION_FLAG, 0o600, 0, 0)?;
+        let mut dirs: HashMap<String, Fh> = HashMap::new();
+        dirs.insert(String::new(), aroot);
+        for item in items {
+            if item.rel_path.is_empty() {
+                continue;
+            }
+            let (prel, name) = match item.rel_path.rsplit_once('/') {
+                Some((p, n)) => (p.to_string(), n),
+                None => (String::new(), item.rel_path.as_str()),
+            };
+            let Some(&pfh) = dirs.get(&prel) else {
+                continue;
+            };
+            match &item.kind {
+                MigrateKind::Dir => {
+                    let (fh, _) = self.nfs.mkdir(addr, pfh, name, item.mode, item.uid, item.gid)?;
+                    dirs.insert(item.rel_path.clone(), fh);
+                }
+                MigrateKind::Bytes(data) => {
+                    let (fh, _) = self.nfs.create(addr, pfh, name, item.mode, item.uid, item.gid)?;
+                    let chunk = self.cfg.io_chunk as usize;
+                    let mut off = 0usize;
+                    while off < data.len() {
+                        let end = (off + chunk).min(data.len());
+                        self.nfs.write(addr, fh, off as u64, &data[off..end])?;
+                        off = end;
+                    }
+                }
+                MigrateKind::Sparse(n) => {
+                    self.nfs
+                        .create_sized(addr, pfh, name, *n, item.mode, item.uid, item.gid)?;
+                }
+                MigrateKind::Symlink { target } => {
+                    self.nfs
+                        .symlink(addr, pfh, name, target, item.mode, item.uid, item.gid)?;
+                }
+            }
+        }
+        self.nfs.remove(addr, aroot, MIGRATION_FLAG)?;
+        crate::stats::KoshaStats::bump(&self.stats.replica_pushes);
+        Ok(())
+    }
+
+    // ---- promotion & migration -------------------------------------------
+
+    /// Moves `anchor` from the replica area into the store and starts
+    /// serving it as primary (§4.4's transparent failover end-state).
+    fn promote_anchor(&self, anchor: &str) -> Result<(), NfsStatus> {
+        let slot = anchor_slot(anchor);
+        self.store
+            .with_store(|v| {
+                let (rparent, _) = v.resolve(&format!("/{}", Area::Replica.dir_name()))?;
+                let (sparent, _) = v.resolve(&format!("/{}", Area::Store.dir_name()))?;
+                let _ = v.remove_tree(sparent, &slot); // drop any stale store copy
+                v.rename(rparent, &slot, sparent, &slot)
+            })
+            .map_err(NfsStatus::from)?;
+        // If the old primary died mid-push, the flag file is present; the
+        // content is our best (and only reachable) copy — serve it and
+        // refresh the other replicas from it.
+        let slot_path = slot_local_path(Area::Store, anchor, anchor);
+        if let Ok(dir) = self.fh_of(&slot_path) {
+            let _ = self.apply(NfsRequest::Remove {
+                dir,
+                name: MIGRATION_FLAG.into(),
+            });
+        }
+        let routing = self
+            .read_anchor_meta(anchor)
+            .unwrap_or_else(|| default_routing(anchor));
+        self.anchors.lock().insert(anchor.to_string(), routing);
+        crate::stats::KoshaStats::bump(&self.stats.promotions);
+        self.ensure_replicas(anchor);
+        Ok(())
+    }
+
+    /// Searches the leaf set for a node holding a replica of `anchor`
+    /// and copies it into the local store over NFS. Returns true on
+    /// success. This covers the corner the paper's §4.4 glosses over:
+    /// with few replicas, the node that becomes numerically closest after
+    /// a failure is not always one of the replica holders.
+    fn pull_anchor_from_neighbors(&self, anchor: &str, routing: &str) -> bool {
+        let slot = anchor_slot(anchor);
+        for m in self.pastry.leaf_members() {
+            let Ok(root) = self.nfs.mount(m.addr) else {
+                continue;
+            };
+            let Ok((rarea, _)) = self
+                .nfs
+                .lookup(m.addr, root, Area::Replica.dir_name())
+            else {
+                continue;
+            };
+            let Ok((src, _)) = self.nfs.lookup(m.addr, rarea, &slot) else {
+                continue;
+            };
+            // Found a replica holder: materialize into our store.
+            let dst = {
+                let sarea = match self.fh_of(&format!("/{}", Area::Store.dir_name())) {
+                    Ok(fh) => fh,
+                    Err(_) => continue,
+                };
+                let _ = self.apply(NfsRequest::RemoveTree {
+                    dir: sarea,
+                    name: slot.clone(),
+                });
+                match self.apply(NfsRequest::Mkdir {
+                    dir: sarea,
+                    name: slot.clone(),
+                    mode: 0o755,
+                    uid: 0,
+                    gid: 0,
+                }) {
+                    Ok(NfsReply::Handle { fh, .. }) => fh,
+                    _ => continue,
+                }
+            };
+            if self.pull_tree(m.addr, src, dst).is_err() {
+                continue;
+            }
+            // Drop a stale migration flag if the holder's copy had one.
+            let _ = self.apply(NfsRequest::Remove {
+                dir: dst,
+                name: MIGRATION_FLAG.into(),
+            });
+            let routing = self
+                .read_anchor_meta(anchor)
+                .unwrap_or_else(|| routing.to_string());
+            self.anchors.lock().insert(anchor.to_string(), routing);
+            crate::stats::KoshaStats::bump(&self.stats.replica_pulls);
+            self.ensure_replicas(anchor);
+            return true;
+        }
+        false
+    }
+
+    /// Recursively copies a remote directory (by NFS reads) into a local
+    /// store directory.
+    fn pull_tree(&self, src_addr: NodeAddr, src: Fh, dst: Fh) -> NfsResult<()> {
+        for e in self.nfs.readdir(src_addr, src)? {
+            let attr = self.nfs.getattr(src_addr, e.fh)?;
+            match e.ftype {
+                kosha_vfs::FileType::Directory => {
+                    let child = match self.apply(NfsRequest::Mkdir {
+                        dir: dst,
+                        name: e.name.clone(),
+                        mode: attr.mode,
+                        uid: attr.uid,
+                        gid: attr.gid,
+                    }) {
+                        Ok(NfsReply::Handle { fh, .. }) => fh,
+                        Ok(_) => continue,
+                        Err(err) => return Err(kosha_nfs::NfsError::Status(err)),
+                    };
+                    self.pull_tree(src_addr, e.fh, child)?;
+                }
+                kosha_vfs::FileType::Regular => {
+                    let local = match self.apply(NfsRequest::Create {
+                        dir: dst,
+                        name: e.name.clone(),
+                        mode: attr.mode,
+                        uid: attr.uid,
+                        gid: attr.gid,
+                    }) {
+                        Ok(NfsReply::Handle { fh, .. }) => fh,
+                        Ok(_) => continue,
+                        Err(err) => return Err(kosha_nfs::NfsError::Status(err)),
+                    };
+                    let mut off = 0u64;
+                    loop {
+                        let (data, eof) = self.nfs.read(src_addr, e.fh, off, self.cfg.io_chunk)?;
+                        if !data.is_empty() {
+                            self.apply(NfsRequest::Write {
+                                fh: local,
+                                offset: off,
+                                data: data.clone(),
+                            })
+                            .map_err(kosha_nfs::NfsError::Status)?;
+                            off += data.len() as u64;
+                        }
+                        if eof {
+                            break;
+                        }
+                    }
+                }
+                kosha_vfs::FileType::Symlink => {
+                    let target = self.nfs.readlink(src_addr, e.fh)?;
+                    let _ = self.apply(NfsRequest::Symlink {
+                        dir: dst,
+                        name: e.name.clone(),
+                        target,
+                        mode: attr.mode,
+                        uid: attr.uid,
+                        gid: attr.gid,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends the anchor's subtree to `owner` (the node the key space now
+    /// assigns it to) and demotes the local copy to a replica (§4.3.1:
+    /// "the files are copied to the new node, and their copy on N becomes
+    /// one of the replicas").
+    pub(crate) fn transfer_anchor(
+        &self,
+        anchor: &str,
+        routing: &str,
+        owner: NodeInfo,
+    ) -> NfsResult<()> {
+        let slot_path = slot_local_path(Area::Store, anchor, anchor);
+        let items: Vec<MigrateItem> = self
+            .store
+            .with_store(|v| v.export_tree(&slot_path))
+            .map_err(|e| kosha_nfs::NfsError::Status(e.into()))?
+            .into_iter()
+            .map(MigrateItem::from)
+            .collect();
+        self.control(
+            owner.addr,
+            &KoshaRequest::BeginTransfer {
+                path: anchor.to_string(),
+            },
+        )?;
+        for item in items {
+            self.control(
+                owner.addr,
+                &KoshaRequest::TransferPut {
+                    path: anchor.to_string(),
+                    item,
+                },
+            )?;
+        }
+        self.control(
+            owner.addr,
+            &KoshaRequest::CommitTransfer {
+                path: anchor.to_string(),
+                routing_name: routing.to_string(),
+            },
+        )?;
+        self.demote_anchor(anchor);
+        crate::stats::KoshaStats::bump(&self.stats.migrations_out);
+        Ok(())
+    }
+
+    /// Demotes a hosted anchor to a replica copy (after migrating it).
+    fn demote_anchor(&self, anchor: &str) {
+        self.anchors.lock().remove(anchor);
+        let slot = anchor_slot(anchor);
+        let _ = self.store.with_store(|v| {
+            let (sparent, _) = v.resolve(&format!("/{}", Area::Store.dir_name()))?;
+            let (rparent, _) = v.resolve(&format!("/{}", Area::Replica.dir_name()))?;
+            let _ = v.remove_tree(rparent, &slot);
+            v.rename(sparent, &slot, rparent, &slot)
+        });
+        self.invalidate_dir_subtree(anchor);
+        let mut c = self.client.lock();
+        c.dir_cache.remove(anchor);
+        drop(c);
+    }
+
+    /// Reacts to leaf-set changes: migrate anchors whose keys now map to
+    /// another node, refresh replicas for the rest (§4.3).
+    pub(crate) fn on_leaf_change(&self, _joined: Option<NodeInfo>) {
+        for (path, routing) in self.hosted_anchors() {
+            match self.owner_of(&routing) {
+                Ok(owner) if owner.id != self.info.id => {
+                    let _ = self.transfer_anchor(&path, &routing, owner);
+                }
+                Ok(_) => self.ensure_replicas(&path),
+                Err(_) => {}
+            }
+        }
+    }
+
+    // ---- the control handler ----------------------------------------------
+
+    pub(crate) fn handle_control(&self, req: KoshaRequest) -> Result<KoshaReply, NfsStatus> {
+        match req {
+            KoshaRequest::CreateFile {
+                path,
+                mode,
+                uid,
+                gid,
+                size,
+            } => {
+                let (pdir, name) = self.local_entry(Area::Store, &path)?;
+                let dir = self.fh_of(&pdir)?;
+                let reply = match size {
+                    None => self.apply(NfsRequest::Create {
+                        dir,
+                        name: name.clone(),
+                        mode,
+                        uid,
+                        gid,
+                    })?,
+                    Some(sz) => self.apply(NfsRequest::CreateSized {
+                        dir,
+                        name: name.clone(),
+                        size: sz,
+                        mode,
+                        uid,
+                        gid,
+                    })?,
+                };
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| {
+                    let (pp, nm) = parent_and_name(&path).expect("non-root");
+                    let dir = s.replica_dir(a, &anchor, pp)?;
+                    let r = match size {
+                        None => s.nfs.create(a, dir, nm, mode, uid, gid).map(|_| ()),
+                        Some(sz) => s
+                            .nfs
+                            .create_sized(a, dir, nm, sz, mode, uid, gid)
+                            .map(|_| ()),
+                    };
+                    match r {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::Exist)) => Ok(()),
+                        other => other,
+                    }
+                });
+                match reply {
+                    NfsReply::Handle { fh, attr } => Ok(KoshaReply::Handle { fh, attr }),
+                    _ => Ok(KoshaReply::Done),
+                }
+            }
+            KoshaRequest::MkdirLocal {
+                path,
+                mode,
+                uid,
+                gid,
+            } => {
+                let (pdir, name) = self.local_entry(Area::Store, &path)?;
+                let dir = self.fh_of(&pdir)?;
+                let reply = self.apply(NfsRequest::Mkdir {
+                    dir,
+                    name,
+                    mode,
+                    uid,
+                    gid,
+                })?;
+                let anchor = self.covering_anchor(&path);
+                self.mirror(|s, a| s.replica_dir(a, &anchor, &path).map(|_| ()));
+                match reply {
+                    NfsReply::Handle { fh, attr } => Ok(KoshaReply::Handle { fh, attr }),
+                    _ => Ok(KoshaReply::Done),
+                }
+            }
+            KoshaRequest::MkdirAnchor {
+                path,
+                routing_name,
+                mode,
+                uid,
+                gid,
+            } => {
+                let slot = anchor_slot(&path);
+                let sarea = format!("/{}", Area::Store.dir_name());
+                let exists = self
+                    .store
+                    .with_store(|v| v.resolve(&format!("{sarea}/{slot}")).is_ok());
+                if exists {
+                    return Err(NfsStatus::Exist);
+                }
+                let dir = self.fh_of(&sarea)?;
+                self.apply(NfsRequest::Mkdir {
+                    dir,
+                    name: slot,
+                    mode,
+                    uid,
+                    gid,
+                })?;
+                self.write_anchor_meta(&path, &routing_name)?;
+                self.anchors.lock().insert(path.clone(), routing_name);
+                self.ensure_replicas(&path);
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::PlaceLink {
+                path,
+                target,
+                uid,
+                gid,
+            } => {
+                let (pdir, name) = self.local_entry(Area::Store, &path)?;
+                let dir = self.fh_of(&pdir)?;
+                self.apply(NfsRequest::Symlink {
+                    dir,
+                    name: name.clone(),
+                    target: target.clone(),
+                    mode: SPECIAL_LINK_MODE,
+                    uid,
+                    gid,
+                })?;
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| {
+                    let (pp, nm) = parent_and_name(&path).expect("non-root");
+                    let dir = s.replica_dir(a, &anchor, pp)?;
+                    match s
+                        .nfs
+                        .symlink(a, dir, nm, &target, SPECIAL_LINK_MODE, uid, gid)
+                    {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::Exist)) => Ok(()),
+                        other => other.map(|_| ()),
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::SymlinkFile {
+                path,
+                target,
+                uid,
+                gid,
+            } => {
+                let (pdir, name) = self.local_entry(Area::Store, &path)?;
+                let dir = self.fh_of(&pdir)?;
+                self.apply(NfsRequest::Symlink {
+                    dir,
+                    name,
+                    target: target.clone(),
+                    mode: USER_LINK_MODE,
+                    uid,
+                    gid,
+                })?;
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| {
+                    let (pp, nm) = parent_and_name(&path).expect("non-root");
+                    let dir = s.replica_dir(a, &anchor, pp)?;
+                    match s.nfs.symlink(a, dir, nm, &target, USER_LINK_MODE, uid, gid) {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::Exist)) => Ok(()),
+                        other => other.map(|_| ()),
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::Write { path, offset, data } => {
+                let obj = self.local_object(Area::Store, &path)?;
+                let fh = self.fh_of(&obj)?;
+                self.apply(NfsRequest::Write {
+                    fh,
+                    offset,
+                    data: data.clone(),
+                })?;
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| s.mirror_file_write(a, &anchor, &path, offset, &data));
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::SetAttr { path, sattr } => {
+                let obj = self.local_object(Area::Store, &path)?;
+                let fh = self.fh_of(&obj)?;
+                self.apply(NfsRequest::Setattr {
+                    fh,
+                    sattr: sattr.clone(),
+                })?;
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| {
+                    let (pp, nm) = parent_and_name(&path).expect("non-root");
+                    let dir = s.replica_dir(a, &anchor, pp)?;
+                    let (fh, _) = s.nfs.lookup(a, dir, nm)?;
+                    s.nfs.setattr(a, fh, sattr.0.clone()).map(|_| ())
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::Remove { path } | KoshaRequest::RemoveLink { path } => {
+                let (pdir, name) = self.local_entry(Area::Store, &path)?;
+                let dir = self.fh_of(&pdir)?;
+                self.apply(NfsRequest::Remove {
+                    dir,
+                    name: name.clone(),
+                })?;
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| {
+                    let (pp, nm) = parent_and_name(&path).expect("non-root");
+                    let dir = s.replica_dir(a, &anchor, pp)?;
+                    match s.nfs.remove(a, dir, nm) {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
+                        other => other,
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::Rmdir { path } => {
+                let (pdir, name) = self.local_entry(Area::Store, &path)?;
+                let dir = self.fh_of(&pdir)?;
+                self.apply(NfsRequest::Rmdir {
+                    dir,
+                    name: name.clone(),
+                })?;
+                let anchor = self.covering_anchor(&parent_of(&path));
+                self.mirror(|s, a| {
+                    let (pp, nm) = parent_and_name(&path).expect("non-root");
+                    let dir = s.replica_dir(a, &anchor, pp)?;
+                    match s.nfs.rmdir(a, dir, nm) {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
+                        other => other,
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::RmdirAnchor { path } => {
+                if !self.hosted(&path) {
+                    return Err(NfsStatus::NoEnt);
+                }
+                let slot_path = slot_local_path(Area::Store, &path, &path);
+                // Empty check, ignoring Kosha-internal metadata.
+                let non_internal = self
+                    .store
+                    .with_store(|v| {
+                        let (id, _) = v.resolve(&slot_path)?;
+                        Ok::<_, kosha_vfs::VfsError>(
+                            v.readdir(id)?
+                                .into_iter()
+                                .filter(|e| !is_internal_name(&e.name))
+                                .count(),
+                        )
+                    })
+                    .map_err(NfsStatus::from)?;
+                if non_internal > 0 {
+                    return Err(NfsStatus::NotEmpty);
+                }
+                let slot = anchor_slot(&path);
+                let sdir = self.fh_of(&format!("/{}", Area::Store.dir_name()))?;
+                self.apply(NfsRequest::RemoveTree {
+                    dir: sdir,
+                    name: slot.clone(),
+                })?;
+                self.anchors.lock().remove(&path);
+                self.mirror(|s, a| {
+                    let root = s.nfs.mount(a)?;
+                    let (rarea, _) =
+                        s.nfs
+                            .lookup_path(a, root, &format!("/{}", Area::Replica.dir_name()))?;
+                    match s.nfs.remove_tree(a, rarea, &slot) {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
+                        other => other,
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::RenameLocal { from, to } => {
+                let (fpdir, fname) = self.local_entry(Area::Store, &from)?;
+                let (tpdir, tname) = self.local_entry(Area::Store, &to)?;
+                let sdir = self.fh_of(&fpdir)?;
+                let ddir = self.fh_of(&tpdir)?;
+                self.apply(NfsRequest::Rename {
+                    sdir,
+                    sname: fname.clone(),
+                    ddir,
+                    dname: tname.clone(),
+                })?;
+                let fanchor = self.covering_anchor(&parent_of(&from));
+                let tanchor = self.covering_anchor(&parent_of(&to));
+                self.mirror(|s, a| {
+                    let (fp, fn_) = parent_and_name(&from).expect("non-root");
+                    let (tp, tn) = parent_and_name(&to).expect("non-root");
+                    let sdir = s.replica_dir(a, &fanchor, fp)?;
+                    let ddir = s.replica_dir(a, &tanchor, tp)?;
+                    match s.nfs.rename(a, sdir, fn_, ddir, tn) {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
+                        other => other,
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::RenameAnchorDir { from, to } => {
+                let Some(routing) = self.routing_of(&from) else {
+                    return Err(NfsStatus::NoEnt);
+                };
+                let fslot = anchor_slot(&from);
+                let tslot = anchor_slot(&to);
+                let sarea = self.fh_of(&format!("/{}", Area::Store.dir_name()))?;
+                self.apply(NfsRequest::Rename {
+                    sdir: sarea,
+                    sname: fslot.clone(),
+                    ddir: sarea,
+                    dname: tslot.clone(),
+                })?;
+                {
+                    let mut a = self.anchors.lock();
+                    a.remove(&from);
+                    a.insert(to.clone(), routing);
+                }
+                self.mirror(|s, a| {
+                    let root = s.nfs.mount(a)?;
+                    let (rarea, _) =
+                        s.nfs
+                            .lookup_path(a, root, &format!("/{}", Area::Replica.dir_name()))?;
+                    match s.nfs.rename(a, rarea, &fslot, rarea, &tslot) {
+                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
+                        other => other,
+                    }
+                });
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::EnsureAnchor { path, routing } => {
+                let slot_path = slot_local_path(Area::Store, &path, &path);
+                let in_store = self.store.with_store(|v| v.resolve(&slot_path).is_ok());
+                if in_store {
+                    if !self.hosted(&path) {
+                        let r = self
+                            .read_anchor_meta(&path)
+                            .unwrap_or_else(|| routing.clone());
+                        self.anchors.lock().insert(path, r);
+                    }
+                    return Ok(KoshaReply::DoneBool(false));
+                }
+                let rslot_path = slot_local_path(Area::Replica, &path, &path);
+                let in_replica = self.store.with_store(|v| v.resolve(&rslot_path).is_ok());
+                if in_replica {
+                    self.promote_anchor(&path)?;
+                    return Ok(KoshaReply::DoneBool(true));
+                }
+                // We own the key but hold no copy (e.g. K=1 and the sole
+                // replica sits on the *other* neighbor of the failed
+                // primary). Pull the anchor from whichever leaf-set
+                // member still holds a replica, then serve it.
+                if self.pull_anchor_from_neighbors(&path, &routing) {
+                    return Ok(KoshaReply::DoneBool(true));
+                }
+                if path == "/" {
+                    // Brand-new deployment (or new root owner with no data
+                    // yet): create the root anchor empty.
+                    let dir = self.fh_of(&format!("/{}", Area::Store.dir_name()))?;
+                    self.apply(NfsRequest::Mkdir {
+                        dir,
+                        name: anchor_slot("/"),
+                        mode: 0o755,
+                        uid: 0,
+                        gid: 0,
+                    })?;
+                    self.anchors.lock().insert("/".into(), routing.clone());
+                    self.write_anchor_meta("/", &routing)?;
+                    self.ensure_replicas("/");
+                    return Ok(KoshaReply::DoneBool(false));
+                }
+                Err(NfsStatus::NoEnt)
+            }
+            KoshaRequest::StoreStats => {
+                let (capacity, used, free) = self.store.with_store(|v| v.fsstat());
+                Ok(KoshaReply::Stats {
+                    capacity,
+                    used,
+                    free,
+                })
+            }
+            KoshaRequest::BeginTransfer { path } => {
+                // Merge semantics: do NOT wipe an existing copy. A
+                // recovered node may receive its own anchor back from a
+                // node that served (a possibly empty or partial) interim
+                // copy during an outage; wiping would lose every entry
+                // the interim copy never saw. Transferred items overwrite
+                // same-named entries; everything else survives.
+                let slot = anchor_slot(&path);
+                self.store
+                    .with_store(|v| {
+                        let sarea = format!("/{}", Area::Store.dir_name());
+                        let (sparent, _) = v.resolve(&sarea)?;
+                        match v.mkdir(sparent, &slot, 0o755, 0, 0) {
+                            Ok(_) | Err(kosha_vfs::VfsError::Exist) => Ok(()),
+                            Err(e) => Err(e),
+                        }
+                    })
+                    .map_err(NfsStatus::from)?;
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::TransferPut { path, item } => {
+                if item.rel_path.is_empty() {
+                    return Ok(KoshaReply::Done);
+                }
+                let base = slot_local_path(Area::Store, &path, &path);
+                let full = format!("{base}/{}", item.rel_path);
+                let (pp, name) = parent_and_name(&full).ok_or(NfsStatus::Inval)?;
+                let name = name.to_string();
+                let dir = self.fh_of(pp)?;
+                match item.kind {
+                    MigrateKind::Dir => {
+                        match self.apply(NfsRequest::Mkdir {
+                            dir,
+                            name,
+                            mode: item.mode,
+                            uid: item.uid,
+                            gid: item.gid,
+                        }) {
+                            Ok(_) | Err(NfsStatus::Exist) => {} // merge
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    MigrateKind::Bytes(data) => {
+                        let _ = self.apply(NfsRequest::RemoveTree {
+                            dir,
+                            name: name.clone(),
+                        });
+                        let _ = self.apply(NfsRequest::Remove {
+                            dir,
+                            name: name.clone(),
+                        });
+                        let reply = self.apply(NfsRequest::Create {
+                            dir,
+                            name,
+                            mode: item.mode,
+                            uid: item.uid,
+                            gid: item.gid,
+                        })?;
+                        if let NfsReply::Handle { fh, .. } = reply {
+                            self.apply(NfsRequest::Write {
+                                fh,
+                                offset: 0,
+                                data,
+                            })?;
+                        }
+                    }
+                    MigrateKind::Sparse(n) => {
+                        let _ = self.apply(NfsRequest::Remove {
+                            dir,
+                            name: name.clone(),
+                        });
+                        self.apply(NfsRequest::CreateSized {
+                            dir,
+                            name,
+                            size: n,
+                            mode: item.mode,
+                            uid: item.uid,
+                            gid: item.gid,
+                        })?;
+                    }
+                    MigrateKind::Symlink { target } => {
+                        let _ = self.apply(NfsRequest::Remove {
+                            dir,
+                            name: name.clone(),
+                        });
+                        self.apply(NfsRequest::Symlink {
+                            dir,
+                            name,
+                            target,
+                            mode: item.mode,
+                            uid: item.uid,
+                            gid: item.gid,
+                        })?;
+                    }
+                }
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::CommitTransfer { path, routing_name } => {
+                self.write_anchor_meta(&path, &routing_name)?;
+                self.anchors.lock().insert(path.clone(), routing_name);
+                crate::stats::KoshaStats::bump(&self.stats.migrations_in);
+                self.ensure_replicas(&path);
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::ListAnchors => Ok(KoshaReply::Anchors(self.hosted_anchors())),
+            KoshaRequest::ReplicaTargets { path } => {
+                let anchor = self.covering_anchor(&path);
+                if !self.hosted(&anchor) {
+                    return Err(NfsStatus::NoEnt);
+                }
+                Ok(KoshaReply::Nodes(self.replica_addrs()))
+            }
+        }
+    }
+}
+
+fn parent_of(vpath: &str) -> String {
+    parent_and_name(vpath)
+        .map(|(p, _)| p.to_string())
+        .unwrap_or_else(|| "/".to_string())
+}
+
+fn default_routing(anchor: &str) -> String {
+    if anchor == "/" {
+        "/".to_string()
+    } else {
+        parent_and_name(anchor)
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_else(|| "/".to_string())
+    }
+}
+
+impl RpcHandler for ControlService {
+    fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+        let req = KoshaRequest::decode(body)?;
+        let result = self.0.handle_control(req);
+        Ok(RpcResponse::new(&KoshaReplyFrame(result)))
+    }
+}

@@ -1,0 +1,291 @@
+//! Client-side resolution: mapping virtual paths to `(node, real handle)`
+//! locations, following special links, and failing over to replicas.
+//!
+//! Resolution walks the path component-by-component starting from the
+//! virtual root's owner, exactly as koshad issues "a sequence of lookup
+//! RPCs" (§4.1.3). A *special link* entry marks a distributed child
+//! directory (§3.1/§3.3): the link target — the possibly-salted routing
+//! name — is hashed and routed, and the walk continues inside that
+//! anchor's materialized subtree ("slot") on the owning node. Results are
+//! cached; any RPC failure invalidates the caches touching the dead node
+//! and the walk retries — the re-route lands on a leaf-set neighbor that
+//! holds a replica, which the `EnsureAnchor` control call promotes to
+//! primary (§4.4).
+
+use crate::control::{KoshaReply, KoshaReplyFrame, KoshaRequest};
+use crate::handles::Location;
+use crate::node::KoshaNode;
+use crate::paths::{anchor_dir_of, anchor_slot, is_distributed_dir, Area, ROOT_ANCHOR};
+use kosha_id::dir_key;
+use kosha_nfs::{Fh, NfsError, NfsResult, NfsStatus};
+use kosha_pastry::{NodeInfo, OverlayError};
+use kosha_rpc::{NodeAddr, RpcError, RpcRequest, ServiceId};
+use kosha_vfs::path::parent_and_name;
+use kosha_vfs::FileType;
+
+/// True if a symlink's mode marks it as a Kosha special link (sticky
+/// bit set by [`crate::primary`] when placing links).
+#[must_use]
+pub fn is_special_link_mode(mode: u32) -> bool {
+    mode & 0o1000 != 0
+}
+
+pub(crate) fn overlay_to_nfs(e: OverlayError) -> NfsError {
+    match e {
+        OverlayError::Rpc(r) => NfsError::Rpc(r),
+        OverlayError::NoRoute => NfsError::Rpc(RpcError::Remote("no overlay route".into())),
+    }
+}
+
+impl KoshaNode {
+    /// Routes a routing name to its current owner.
+    pub(crate) fn owner_of(&self, routing_name: &str) -> NfsResult<NodeInfo> {
+        self.pastry
+            .route_owner(dir_key(routing_name))
+            .map_err(overlay_to_nfs)
+    }
+
+    /// Sends a control request to another koshad (or ourselves, over the
+    /// loopback).
+    pub(crate) fn control(&self, to: NodeAddr, req: &KoshaRequest) -> NfsResult<KoshaReply> {
+        let resp = self
+            .net
+            .call(self.info.addr, to, RpcRequest::new(ServiceId::Kosha, req))
+            .map_err(NfsError::Rpc)?;
+        let frame: KoshaReplyFrame = resp.decode().map_err(NfsError::Rpc)?;
+        frame.0.map_err(NfsError::Status)
+    }
+
+    /// Reacts to an observed node failure: informs the overlay and drops
+    /// every cached mapping through the dead node (§4.4: "Kosha detects
+    /// an RPC error and removes the mapping for the virtual handle").
+    pub(crate) fn fail_over(&self, addr: NodeAddr) {
+        crate::stats::KoshaStats::bump(&self.stats.failovers);
+        self.pastry.note_failed(addr);
+        let mut c = self.client.lock();
+        c.root_cache.remove(&addr);
+        c.dir_cache.retain(|_, l| l.addr != addr);
+        c.handles.clear_locations_at(addr);
+    }
+
+    /// Drops all resolution caches (after a stale-handle surprise, e.g. a
+    /// purged and reincarnated store).
+    pub(crate) fn flush_caches(&self) {
+        let mut c = self.client.lock();
+        c.root_cache.clear();
+        c.dir_cache.clear();
+        c.handles.clear_locations_everywhere();
+    }
+
+    /// Retry wrapper implementing transparent fault handling: on an
+    /// unreachable node, fail over and re-run; on a stale handle, flush
+    /// caches and re-run.
+    pub(crate) fn with_retry<T>(&self, mut f: impl FnMut(&Self) -> NfsResult<T>) -> NfsResult<T> {
+        let mut attempts = self.cfg.failover_retries;
+        loop {
+            match f(self) {
+                Err(NfsError::Rpc(RpcError::Unreachable(a))) if attempts > 0 => {
+                    attempts -= 1;
+                    self.fail_over(a);
+                }
+                Err(NfsError::Status(NfsStatus::Stale)) if attempts > 0 => {
+                    attempts -= 1;
+                    self.flush_caches();
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Path-scoped retry wrapper: like [`Self::with_retry`], plus a
+    /// single scoped retry on `NoEnt`. A cached directory location may
+    /// point at a node that *demoted* the covering anchor (migration to
+    /// a newcomer, or an interim owner that served during an outage);
+    /// that node answers `NoEnt` for paths it no longer authoritatively
+    /// hosts. Invalidating just this path's chain and re-resolving finds
+    /// the current primary. Genuinely missing paths still report
+    /// `NoEnt`, after one extra resolution of this path only — all other
+    /// cached state is untouched.
+    pub(crate) fn with_path_retry<T>(
+        &self,
+        vpath: &str,
+        mut f: impl FnMut(&Self) -> NfsResult<T>,
+    ) -> NfsResult<T> {
+        match self.with_retry(&mut f) {
+            Err(NfsError::Status(NfsStatus::NoEnt)) => {
+                self.invalidate_chain(vpath);
+                self.with_retry(f)
+            }
+            r => r,
+        }
+    }
+
+    /// Invalidates cached locations for `vpath`, its ancestors, and its
+    /// descendants (the resolution chain a migrated anchor poisons).
+    pub(crate) fn invalidate_chain(&self, vpath: &str) {
+        let prefix = format!("{vpath}/");
+        let mut c = self.client.lock();
+        c.dir_cache.retain(|p, _| {
+            let is_ancestor = p == "/" || vpath.starts_with(&format!("{p}/"));
+            let is_self = p == vpath;
+            let is_descendant = p.starts_with(&prefix);
+            !(is_ancestor || is_self || is_descendant)
+        });
+        c.handles.clear_locations_everywhere();
+    }
+
+    /// The handle of a node's `/kosha_store` export root, cached.
+    pub(crate) fn store_root(&self, addr: NodeAddr) -> NfsResult<Fh> {
+        if let Some(&fh) = self.client.lock().root_cache.get(&addr) {
+            return Ok(fh);
+        }
+        let root = self.nfs.mount(addr)?;
+        let (fh, _) = self.nfs.lookup(addr, root, Area::Store.dir_name())?;
+        self.client.lock().root_cache.insert(addr, fh);
+        Ok(fh)
+    }
+
+    /// Locates the slot root of `anchor_path` on `owner`, asking the
+    /// owner to promote (or, for the virtual root, create) it if its
+    /// store lacks it.
+    pub(crate) fn locate_anchor(
+        &self,
+        owner: NodeAddr,
+        anchor_path: &str,
+        routing: &str,
+    ) -> NfsResult<Fh> {
+        let slot = anchor_slot(anchor_path);
+        let root = self.store_root(owner)?;
+        match self.nfs.lookup(owner, root, &slot) {
+            Ok((fh, attr)) if attr.ftype == FileType::Directory => return Ok(fh),
+            Ok(_) => return Err(NfsError::Status(NfsStatus::NotDir)),
+            Err(NfsError::Status(NfsStatus::NoEnt)) => {}
+            Err(e) => return Err(e),
+        }
+        // Absent: ask the owner to promote from its replica area (§4.4)
+        // or, for the root anchor, to create it empty.
+        self.control(
+            owner,
+            &KoshaRequest::EnsureAnchor {
+                path: anchor_path.to_string(),
+                routing: routing.to_string(),
+            },
+        )?;
+        let (fh, _) = self.nfs.lookup(owner, root, &slot)?;
+        Ok(fh)
+    }
+
+    /// Resolves the authoritative listing of directory `vpath` to a
+    /// location, walking from the root owner and following special links.
+    pub(crate) fn resolve_dir(&self, vpath: &str) -> NfsResult<Location> {
+        let mut budget = self.cfg.failover_retries;
+        self.resolve_dir_budget(vpath, &mut budget)
+    }
+
+    pub(crate) fn resolve_dir_budget(
+        &self,
+        vpath: &str,
+        budget: &mut usize,
+    ) -> NfsResult<Location> {
+        loop {
+            match self.resolve_dir_once(vpath, budget) {
+                Err(NfsError::Rpc(RpcError::Unreachable(a))) if *budget > 0 => {
+                    *budget -= 1;
+                    self.fail_over(a);
+                }
+                Err(NfsError::Status(NfsStatus::Stale)) if *budget > 0 => {
+                    *budget -= 1;
+                    self.flush_caches();
+                }
+                r => return r,
+            }
+        }
+    }
+
+    fn resolve_dir_once(&self, vpath: &str, budget: &mut usize) -> NfsResult<Location> {
+        if let Some(l) = self.client.lock().dir_cache.get(vpath) {
+            return Ok(*l);
+        }
+        let loc = if vpath == "/" {
+            let owner = self.owner_of(ROOT_ANCHOR)?;
+            let fh = self.locate_anchor(owner.addr, "/", ROOT_ANCHOR)?;
+            Location {
+                addr: owner.addr,
+                fh,
+            }
+        } else {
+            let (ppath, name) =
+                parent_and_name(vpath).ok_or(NfsError::Status(NfsStatus::Inval))?;
+            let name = name.to_string();
+            let parent = self.resolve_dir_budget(ppath, budget)?;
+            let (efh, attr) = self.nfs.lookup(parent.addr, parent.fh, &name)?;
+            match attr.ftype {
+                FileType::Directory => Location {
+                    addr: parent.addr,
+                    fh: efh,
+                },
+                FileType::Symlink
+                    if is_special_link_mode(attr.mode)
+                        && is_distributed_dir(vpath, self.cfg.distribution_level) =>
+                {
+                    let target = self.nfs.readlink(parent.addr, efh)?;
+                    let owner = self.owner_of(&target)?;
+                    let fh = self.locate_anchor(owner.addr, vpath, &target)?;
+                    Location {
+                        addr: owner.addr,
+                        fh,
+                    }
+                }
+                _ => return Err(NfsError::Status(NfsStatus::NotDir)),
+            }
+        };
+        self.client.lock().dir_cache.insert(vpath.to_string(), loc);
+        Ok(loc)
+    }
+
+    /// Resolves an arbitrary object (file, user symlink, or directory) to
+    /// its location and attributes. Directories resolve to their
+    /// authoritative listing (following special links).
+    pub(crate) fn resolve_object(&self, vpath: &str) -> NfsResult<(Location, kosha_vfs::Attr)> {
+        if vpath == "/" {
+            let loc = self.resolve_dir("/")?;
+            let attr = self.nfs.getattr(loc.addr, loc.fh)?;
+            return Ok((loc, attr));
+        }
+        let (ppath, name) = parent_and_name(vpath).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let name = name.to_string();
+        let parent = self.resolve_dir(ppath)?;
+        let (efh, attr) = self.nfs.lookup(parent.addr, parent.fh, &name)?;
+        if attr.ftype == FileType::Directory
+            || (attr.ftype == FileType::Symlink
+                && is_special_link_mode(attr.mode)
+                && is_distributed_dir(vpath, self.cfg.distribution_level))
+        {
+            let loc = self.resolve_dir(vpath)?;
+            let attr = self.nfs.getattr(loc.addr, loc.fh)?;
+            return Ok((loc, attr));
+        }
+        Ok((
+            Location {
+                addr: parent.addr,
+                fh: efh,
+            },
+            attr,
+        ))
+    }
+
+    /// Invalidates cached directory locations for `vpath` and everything
+    /// beneath it (after renames and removals).
+    pub(crate) fn invalidate_dir_subtree(&self, vpath: &str) {
+        let prefix = format!("{vpath}/");
+        let mut c = self.client.lock();
+        c.dir_cache
+            .retain(|p, _| p != vpath && !p.starts_with(&prefix));
+    }
+
+    /// The covering anchor of a path: the anchor whose slot holds its
+    /// listing/entry.
+    pub(crate) fn covering_anchor(&self, vpath: &str) -> String {
+        anchor_dir_of(vpath, self.cfg.distribution_level).unwrap_or_else(|_| "/".to_string())
+    }
+}

@@ -1,0 +1,101 @@
+//! Operational counters for a koshad instance.
+//!
+//! The paper's prototype was evaluated by external measurement only;
+//! production operators need visibility into what the daemon is doing.
+//! These counters are updated by the client-side interposition layer and
+//! the primary-side replica manager, and are exposed through
+//! [`crate::KoshaNode::stats`] (tests also use them to assert that a
+//! scenario exercised the intended mechanism, e.g. that a failover
+//! actually promoted a replica rather than finding the data by luck).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing a node's Kosha activity.
+#[derive(Debug, Default)]
+pub struct KoshaStats {
+    /// Virtual-filesystem operations served by this koshad to local
+    /// applications.
+    pub fs_ops: AtomicU64,
+    /// Failovers performed: a node was declared dead and cached
+    /// locations were rebound (§4.4).
+    pub failovers: AtomicU64,
+    /// Replica-to-primary promotions performed on this node (§4.4).
+    pub promotions: AtomicU64,
+    /// Anchors migrated *away* to a new owner (§4.3.1).
+    pub migrations_out: AtomicU64,
+    /// Anchors received from a previous owner (§4.3.1).
+    pub migrations_in: AtomicU64,
+    /// Full replica pushes completed to neighbor nodes (§4.2).
+    pub replica_pushes: AtomicU64,
+    /// Anchors pulled from a neighbor's replica area because this node
+    /// became owner without holding a copy.
+    pub replica_pulls: AtomicU64,
+    /// Directory-placement redirections caused by full nodes (§3.3).
+    pub redirections: AtomicU64,
+    /// READs served from a replica instead of the primary (§4.2's
+    /// read-spreading optimization).
+    pub replica_reads: AtomicU64,
+}
+
+/// A plain-value snapshot of [`KoshaStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// See [`KoshaStats::fs_ops`].
+    pub fs_ops: u64,
+    /// See [`KoshaStats::failovers`].
+    pub failovers: u64,
+    /// See [`KoshaStats::promotions`].
+    pub promotions: u64,
+    /// See [`KoshaStats::migrations_out`].
+    pub migrations_out: u64,
+    /// See [`KoshaStats::migrations_in`].
+    pub migrations_in: u64,
+    /// See [`KoshaStats::replica_pushes`].
+    pub replica_pushes: u64,
+    /// See [`KoshaStats::replica_pulls`].
+    pub replica_pulls: u64,
+    /// See [`KoshaStats::redirections`].
+    pub redirections: u64,
+    /// See [`KoshaStats::replica_reads`].
+    pub replica_reads: u64,
+}
+
+impl KoshaStats {
+    /// Atomically increments one counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            fs_ops: self.fs_ops.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            migrations_out: self.migrations_out.load(Ordering::Relaxed),
+            migrations_in: self.migrations_in.load(Ordering::Relaxed),
+            replica_pushes: self.replica_pushes.load(Ordering::Relaxed),
+            replica_pulls: self.replica_pulls.load(Ordering::Relaxed),
+            redirections: self.redirections.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = KoshaStats::default();
+        KoshaStats::bump(&s.promotions);
+        KoshaStats::bump(&s.promotions);
+        KoshaStats::bump(&s.fs_ops);
+        let snap = s.snapshot();
+        assert_eq!(snap.promotions, 2);
+        assert_eq!(snap.fs_ops, 1);
+        assert_eq!(snap.failovers, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! 128-bit identifiers and the circular identifier-space arithmetic used by
+//! Pastry routing (digit/prefix math) and leaf sets (ring distances).
+
+use std::fmt;
+
+/// Number of bits per routing digit (`b` in the Pastry paper). Pastry's
+/// typical configurations use `2^b = 16` or `32`; Kosha's discussion in
+/// Section 6.1.2 assumes a digit base of 16, so we fix `b = 4`.
+pub const DIGIT_BITS: u32 = 4;
+
+/// The digit base `2^b` (16): the number of columns in a routing-table row.
+pub const DIGIT_BASE: usize = 1 << DIGIT_BITS;
+
+/// Number of base-`2^b` digits in a 128-bit identifier (rows in the routing
+/// table): `128 / 4 = 32`.
+pub const DIGITS: usize = 128 / DIGIT_BITS as usize;
+
+/// A 128-bit identifier in Pastry's circular identifier space.
+///
+/// Node identifiers and object keys share this type, exactly as in the
+/// paper ("the nodeIds and keys live in the same name space"). Identifiers
+/// are compared numerically; the ring wraps at `2^128`.
+///
+/// ```
+/// use kosha_id::Id;
+/// let a = Id(0xAB00_0000_0000_0000_0000_0000_0000_0000);
+/// let b = Id(0xAB70_0000_0000_0000_0000_0000_0000_0000);
+/// assert_eq!(a.shared_prefix_digits(b), 2); // 'A', 'B'
+/// assert_eq!(a.digit(0), 0xA);
+/// assert_eq!(Id(u128::MAX).ring_distance(Id(0)), 1); // wraps
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Id(pub u128);
+
+impl Id {
+    /// The smallest identifier (all zero bits).
+    pub const MIN: Id = Id(0);
+    /// The largest identifier (all one bits).
+    pub const MAX: Id = Id(u128::MAX);
+
+    /// Builds an identifier from the first 16 bytes of a big-endian byte
+    /// string (e.g. the leading bytes of a SHA-1 digest).
+    #[must_use]
+    pub fn from_be_bytes(bytes: [u8; 16]) -> Self {
+        Id(u128::from_be_bytes(bytes))
+    }
+
+    /// Returns the big-endian byte representation.
+    #[must_use]
+    pub fn to_be_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the `row`-th base-`2^b` digit, counting from the most
+    /// significant digit (`row = 0`) — the order in which Pastry's
+    /// prefix-based routing consumes digits.
+    ///
+    /// # Panics
+    /// Panics if `row >= DIGITS`.
+    #[must_use]
+    pub fn digit(self, row: usize) -> u8 {
+        assert!(row < DIGITS, "digit row {row} out of range");
+        let shift = 128 - DIGIT_BITS as usize * (row + 1);
+        ((self.0 >> shift) & (DIGIT_BASE as u128 - 1)) as u8
+    }
+
+    /// Length (in digits) of the longest common prefix of `self` and
+    /// `other`. Two equal identifiers share all [`DIGITS`] digits.
+    #[must_use]
+    pub fn shared_prefix_digits(self, other: Id) -> usize {
+        let x = self.0 ^ other.0;
+        if x == 0 {
+            return DIGITS;
+        }
+        x.leading_zeros() as usize / DIGIT_BITS as usize
+    }
+
+    /// Absolute distance on the ring: the length of the shorter arc between
+    /// the two identifiers. This is the metric Pastry uses to decide which
+    /// node is "numerically closest" to a key.
+    #[must_use]
+    pub fn ring_distance(self, other: Id) -> u128 {
+        let d = self.0.wrapping_sub(other.0);
+        let e = other.0.wrapping_sub(self.0);
+        d.min(e)
+    }
+
+    /// Clockwise (increasing-identifier, wrapping) distance from `self` to
+    /// `other`: how far one must travel in the direction of larger
+    /// identifiers to reach `other`. Zero iff the identifiers are equal.
+    #[must_use]
+    pub fn cw_distance(self, other: Id) -> u128 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// True if `x` lies on the clockwise arc strictly between `self`
+    /// (exclusive) and `end` (inclusive). With `self == end` the arc is the
+    /// whole ring, so every `x != self` (plus `x == end`) is inside.
+    #[must_use]
+    pub fn cw_contains(self, x: Id, end: Id) -> bool {
+        if self == end {
+            return true;
+        }
+        self.cw_distance(x) <= self.cw_distance(end) && x != self
+    }
+
+    /// Compares which of `a` or `b` is numerically closer to `self`.
+    ///
+    /// Ties on ring distance (the two candidates sit diametrically on either
+    /// side of the key) are broken toward the *smaller* wrapped clockwise
+    /// distance and finally toward the smaller identifier, so that ownership
+    /// of a key is a total, deterministic order over any node set.
+    #[must_use]
+    pub fn closer_of(self, a: Id, b: Id) -> Id {
+        let da = self.ring_distance(a);
+        let db = self.ring_distance(b);
+        match da.cmp(&db) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                // Equidistant: prefer the clockwise successor, then the
+                // smaller id. (Any deterministic rule works; all replicas
+                // must agree.)
+                let ca = self.cw_distance(a);
+                let cb = self.cw_distance(b);
+                match ca.cmp(&cb) {
+                    std::cmp::Ordering::Less => a,
+                    std::cmp::Ordering::Greater => b,
+                    std::cmp::Ordering::Equal => a.min(b),
+                }
+            }
+        }
+    }
+
+    /// Hex string of the identifier's most significant `n` digits, used in
+    /// logs and debug displays.
+    #[must_use]
+    pub fn short_hex(self, n: usize) -> String {
+        let full = format!("{:032x}", self.0);
+        full[..n.min(32)].to_string()
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Id({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl From<u128> for Id {
+    fn from(v: u128) -> Self {
+        Id(v)
+    }
+}
+
+/// Selects, from `candidates`, the identifier numerically closest to `key`
+/// (ties broken as in [`Id::closer_of`]). Returns `None` on an empty slice.
+#[must_use]
+pub fn numerically_closest(key: Id, candidates: &[Id]) -> Option<Id> {
+    let mut best: Option<Id> = None;
+    for &c in candidates {
+        best = Some(match best {
+            None => c,
+            Some(b) => key.closer_of(b, c),
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_msb_first() {
+        let id = Id(0xABCD_0000_0000_0000_0000_0000_0000_0001);
+        assert_eq!(id.digit(0), 0xA);
+        assert_eq!(id.digit(1), 0xB);
+        assert_eq!(id.digit(2), 0xC);
+        assert_eq!(id.digit(3), 0xD);
+        assert_eq!(id.digit(4), 0x0);
+        assert_eq!(id.digit(31), 0x1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn digit_out_of_range_panics() {
+        let _ = Id(0).digit(32);
+    }
+
+    #[test]
+    fn shared_prefix() {
+        let a = Id(0xABCD_0000_0000_0000_0000_0000_0000_0000);
+        let b = Id(0xABCE_0000_0000_0000_0000_0000_0000_0000);
+        assert_eq!(a.shared_prefix_digits(b), 3);
+        assert_eq!(a.shared_prefix_digits(a), DIGITS);
+        assert_eq!(Id(0).shared_prefix_digits(Id(u128::MAX)), 0);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        assert_eq!(Id(0).ring_distance(Id(1)), 1);
+        assert_eq!(Id(u128::MAX).ring_distance(Id(0)), 1);
+        assert_eq!(Id(5).ring_distance(Id(5)), 0);
+        // Opposite points: distance is 2^127 either way.
+        assert_eq!(Id(0).ring_distance(Id(1u128 << 127)), 1u128 << 127);
+    }
+
+    #[test]
+    fn cw_distance_directionality() {
+        assert_eq!(Id(10).cw_distance(Id(20)), 10);
+        assert_eq!(Id(20).cw_distance(Id(10)), u128::MAX - 9);
+        assert_eq!(Id(7).cw_distance(Id(7)), 0);
+    }
+
+    #[test]
+    fn cw_contains_basic() {
+        assert!(Id(10).cw_contains(Id(15), Id(20)));
+        assert!(Id(10).cw_contains(Id(20), Id(20)));
+        assert!(!Id(10).cw_contains(Id(10), Id(20)));
+        assert!(!Id(10).cw_contains(Id(25), Id(20)));
+        // Wrapping arc.
+        assert!(Id(u128::MAX - 5).cw_contains(Id(3), Id(10)));
+    }
+
+    #[test]
+    fn closer_of_picks_nearer() {
+        let key = Id(100);
+        assert_eq!(key.closer_of(Id(90), Id(150)), Id(90));
+        assert_eq!(key.closer_of(Id(150), Id(90)), Id(90));
+        // Wrap-around nearness.
+        let key = Id(2);
+        assert_eq!(key.closer_of(Id(u128::MAX), Id(40)), Id(u128::MAX));
+    }
+
+    #[test]
+    fn closer_of_tie_is_deterministic() {
+        let key = Id(100);
+        let a = Id(90);
+        let b = Id(110);
+        // Both are at distance 10; rule must be order-independent.
+        assert_eq!(key.closer_of(a, b), key.closer_of(b, a));
+    }
+
+    #[test]
+    fn numerically_closest_selects_owner() {
+        let nodes = [Id(10), Id(50), Id(200)];
+        assert_eq!(numerically_closest(Id(45), &nodes), Some(Id(50)));
+        assert_eq!(numerically_closest(Id(12), &nodes), Some(Id(10)));
+        assert_eq!(numerically_closest(Id(0), &[]), None);
+    }
+
+    #[test]
+    fn short_hex_truncates() {
+        let id = Id(0xABCD_EF00_0000_0000_0000_0000_0000_0000);
+        assert_eq!(id.short_hex(6), "abcdef");
+        assert_eq!(id.short_hex(64).len(), 32);
+    }
+}

@@ -1,0 +1,109 @@
+//! Key derivation mirroring the paper's mapping scheme.
+//!
+//! Section 3.1: "A 128-bit unique key is created via a SHA-1 hash of the
+//! directory name" — the *name*, not the full path. Key collisions between
+//! same-named directories are benign: they merely co-locate those
+//! directories on one node (their paths remain distinct).
+//!
+//! Section 3.3: capacity redirection is "done by concatenating a random salt
+//! to the directory name, and rehashing the new name". The special link left
+//! in the parent directory targets `"{name}#{salt}"`, so any node can
+//! recompute `DHT(hash(name#salt))` from the link alone.
+
+use crate::id::Id;
+use crate::sha1::Sha1;
+
+/// Separator between a directory name and its redirection salt, visible in
+/// special-link targets (see Figure 3 of the paper: `sdirm#1774`).
+pub const SALT_SEP: char = '#';
+
+fn id_from_digest(d: [u8; 20]) -> Id {
+    let mut b = [0u8; 16];
+    b.copy_from_slice(&d[..16]);
+    Id::from_be_bytes(b)
+}
+
+/// Key for a directory *name* (no salt): `trunc128(SHA1(name))`.
+#[must_use]
+pub fn dir_key(name: &str) -> Id {
+    id_from_digest(Sha1::digest(name.as_bytes()))
+}
+
+/// The salted name used after `salt_round` redirections: `"{name}#{salt}"`.
+/// Round 0 is the unsalted name itself.
+#[must_use]
+pub fn salted_name(name: &str, salt: Option<u64>) -> String {
+    match salt {
+        None => name.to_string(),
+        Some(s) => format!("{name}{SALT_SEP}{s}"),
+    }
+}
+
+/// Key for a (possibly salted) directory name: `trunc128(SHA1(salted))`.
+#[must_use]
+pub fn salted_dir_key(name: &str, salt: Option<u64>) -> Id {
+    dir_key(&salted_name(name, salt))
+}
+
+/// Derives a node identifier from an arbitrary seed string (e.g. a host
+/// name). The paper assigns "unique, uniform, randomly-assigned" nodeIds;
+/// hashing a unique seed gives the same uniformity deterministically, which
+/// keeps simulations reproducible.
+#[must_use]
+pub fn node_id_from_seed(seed: &str) -> Id {
+    id_from_digest(Sha1::digest(seed.as_bytes()))
+}
+
+/// Splits a special-link target back into `(name, salt)`.
+///
+/// Returns `None` if the target carries no salt suffix. Names containing
+/// `#` are handled by splitting at the *last* separator whose suffix parses
+/// as a number.
+#[must_use]
+pub fn parse_salted_name(target: &str) -> Option<(&str, u64)> {
+    let (name, salt) = target.rsplit_once(SALT_SEP)?;
+    let salt: u64 = salt.parse().ok()?;
+    Some((name, salt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_key_is_deterministic_and_name_based() {
+        assert_eq!(dir_key("beta"), dir_key("beta"));
+        assert_ne!(dir_key("beta"), dir_key("gamma"));
+    }
+
+    #[test]
+    fn same_name_different_paths_collide_by_design() {
+        // The paper relies on this: /a/src and /b/src hash identically and
+        // are simply stored on the same node.
+        assert_eq!(dir_key("src"), dir_key("src"));
+    }
+
+    #[test]
+    fn salted_key_differs_from_unsalted() {
+        let base = salted_dir_key("beta", None);
+        let salted = salted_dir_key("beta", Some(1774));
+        assert_ne!(base, salted);
+        assert_eq!(salted, dir_key("beta#1774"));
+    }
+
+    #[test]
+    fn salted_name_round_trips() {
+        let s = salted_name("sdirm", Some(1774));
+        assert_eq!(s, "sdirm#1774");
+        assert_eq!(parse_salted_name(&s), Some(("sdirm", 1774)));
+        assert_eq!(parse_salted_name("plain"), None);
+        assert_eq!(parse_salted_name("odd#name"), None);
+        // Name containing '#': split at last separator with numeric suffix.
+        assert_eq!(parse_salted_name("a#b#42"), Some(("a#b", 42)));
+    }
+
+    #[test]
+    fn node_ids_from_distinct_seeds_differ() {
+        assert_ne!(node_id_from_seed("host-0"), node_id_from_seed("host-1"));
+    }
+}

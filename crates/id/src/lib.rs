@@ -1,0 +1,31 @@
+//! Identifier arithmetic for the Kosha peer-to-peer file system.
+//!
+//! Kosha (Butt, Johnson, Zheng & Hu, SC 2004) organizes storage nodes in a
+//! Pastry overlay: every node has a uniform random 128-bit *node identifier*
+//! and every directory is mapped to a 128-bit *key* obtained from a SHA-1
+//! hash of the directory name (FIPS 180-1). Both live in the same circular
+//! identifier space; a key is owned by the live node whose identifier is
+//! *numerically closest* to it.
+//!
+//! This crate provides:
+//!
+//! * [`Id`] — a 128-bit identifier with the digit/prefix arithmetic Pastry
+//!   routing needs (base `2^b` digits, shared-prefix length) and the ring
+//!   arithmetic the leaf set needs (wrapping distances, numerical closeness).
+//! * [`Sha1`] — a from-scratch FIPS 180-1 SHA-1 implementation (no external
+//!   digest crate is available in the offline build environment), validated
+//!   against the published test vectors.
+//! * [`key`] — key-derivation helpers mirroring the paper's scheme: a
+//!   directory's key is the hash of its *name* (not its path), and capacity
+//!   redirection re-hashes `"{name}#{salt}"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod key;
+pub mod sha1;
+
+pub use id::{Id, DIGITS, DIGIT_BASE, DIGIT_BITS};
+pub use key::{dir_key, node_id_from_seed, salted_dir_key, salted_name};
+pub use sha1::Sha1;

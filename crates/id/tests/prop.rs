@@ -1,0 +1,89 @@
+//! Property-based tests for identifier arithmetic and SHA-1.
+
+use kosha_id::id::numerically_closest;
+use kosha_id::{dir_key, salted_name, Id, Sha1, DIGITS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha1_chunking_invariant(msg in proptest::collection::vec(any::<u8>(), 0..600),
+                               splits in proptest::collection::vec(1usize..70, 1..8)) {
+        let expect = Sha1::digest(&msg);
+        let mut h = Sha1::new();
+        let mut rest = msg.as_slice();
+        let mut i = 0;
+        while !rest.is_empty() {
+            let take = splits[i % splits.len()].min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+            i += 1;
+        }
+        prop_assert_eq!(h.finalize(), expect);
+    }
+
+    #[test]
+    fn shared_prefix_is_symmetric_and_correct(a in any::<u128>(), b in any::<u128>()) {
+        let (a, b) = (Id(a), Id(b));
+        let k = a.shared_prefix_digits(b);
+        prop_assert_eq!(k, b.shared_prefix_digits(a));
+        for row in 0..k {
+            prop_assert_eq!(a.digit(row), b.digit(row));
+        }
+        if k < DIGITS {
+            prop_assert_ne!(a.digit(k), b.digit(k));
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ring_distance_symmetric_and_bounded(a in any::<u128>(), b in any::<u128>()) {
+        let (a, b) = (Id(a), Id(b));
+        prop_assert_eq!(a.ring_distance(b), b.ring_distance(a));
+        prop_assert!(a.ring_distance(b) <= 1u128 << 127);
+        prop_assert_eq!(a.ring_distance(a), 0);
+    }
+
+    #[test]
+    fn cw_distances_sum_to_ring(a in any::<u128>(), b in any::<u128>()) {
+        let (a, b) = (Id(a), Id(b));
+        if a != b {
+            prop_assert_eq!(a.cw_distance(b).wrapping_add(b.cw_distance(a)), 0u128.wrapping_sub(0)); // both arcs sum to 2^128 ≡ 0
+            prop_assert_eq!(a.ring_distance(b), a.cw_distance(b).min(b.cw_distance(a)));
+        }
+    }
+
+    #[test]
+    fn closest_is_order_independent(key in any::<u128>(),
+                                    mut ids in proptest::collection::vec(any::<u128>(), 1..20)) {
+        let key = Id(key);
+        let fwd: Vec<Id> = ids.iter().map(|&v| Id(v)).collect();
+        ids.reverse();
+        let rev: Vec<Id> = ids.iter().map(|&v| Id(v)).collect();
+        prop_assert_eq!(numerically_closest(key, &fwd), numerically_closest(key, &rev));
+    }
+
+    #[test]
+    fn closest_minimizes_distance(key in any::<u128>(),
+                                  ids in proptest::collection::vec(any::<u128>(), 1..20)) {
+        let key = Id(key);
+        let ids: Vec<Id> = ids.into_iter().map(Id).collect();
+        let best = numerically_closest(key, &ids).unwrap();
+        let dmin = ids.iter().map(|i| key.ring_distance(*i)).min().unwrap();
+        prop_assert_eq!(key.ring_distance(best), dmin);
+    }
+
+    #[test]
+    fn salted_name_parses_back(name in "[a-zA-Z0-9_.-]{1,32}", salt in any::<u64>()) {
+        let s = salted_name(&name, Some(salt));
+        let parsed = kosha_id::key::parse_salted_name(&s);
+        prop_assert_eq!(parsed, Some((name.as_str(), salt)));
+    }
+
+    #[test]
+    fn dir_keys_spread_uniformly(names in proptest::collection::hash_set("[a-z]{1,12}", 2..40)) {
+        // Distinct names should (essentially always) yield distinct keys.
+        let keys: std::collections::HashSet<_> = names.iter().map(|n| dir_key(n)).collect();
+        prop_assert_eq!(keys.len(), names.len());
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests: every NFS protocol message round-trips the wire
+//! exactly, for arbitrary field values.
+
+use kosha_nfs::messages::{NfsReplyFrame, WireDirEntry, WireSetAttr};
+use kosha_nfs::{Fh, NfsReply, NfsRequest, NfsStatus};
+use kosha_rpc::{WireRead, WireWrite};
+use kosha_vfs::{Attr, FileType, SetAttr};
+use proptest::prelude::*;
+
+fn arb_fh() -> impl Strategy<Value = Fh> {
+    (any::<u64>(), any::<u32>()).prop_map(|(ino, gen)| Fh { ino, gen })
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.#-]{1,32}"
+}
+
+fn arb_ftype() -> impl Strategy<Value = FileType> {
+    prop_oneof![
+        Just(FileType::Regular),
+        Just(FileType::Directory),
+        Just(FileType::Symlink),
+    ]
+}
+
+fn arb_attr() -> impl Strategy<Value = Attr> {
+    (
+        arb_ftype(),
+        0u32..0o10000,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|(ftype, mode, uid, gid, size, nlink, (a, m, c))| Attr {
+            ftype,
+            mode,
+            uid,
+            gid,
+            size,
+            nlink,
+            atime: a,
+            mtime: m,
+            ctime: c,
+        })
+}
+
+fn arb_sattr() -> impl Strategy<Value = SetAttr> {
+    (
+        proptest::option::of(0u32..0o10000),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u32>()),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(mode, uid, gid, size, atime, mtime)| SetAttr {
+            mode,
+            uid,
+            gid,
+            size,
+            atime,
+            mtime,
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = NfsRequest> {
+    prop_oneof![
+        Just(NfsRequest::Null),
+        Just(NfsRequest::Mount),
+        Just(NfsRequest::Fsstat),
+        arb_fh().prop_map(|fh| NfsRequest::Getattr { fh }),
+        (arb_fh(), arb_sattr()).prop_map(|(fh, s)| NfsRequest::Setattr {
+            fh,
+            sattr: WireSetAttr(s)
+        }),
+        (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::Lookup { dir, name }),
+        arb_fh().prop_map(|fh| NfsRequest::Readlink { fh }),
+        (arb_fh(), any::<u64>(), any::<u32>())
+            .prop_map(|(fh, offset, count)| NfsRequest::Read { fh, offset, count }),
+        (arb_fh(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(fh, offset, data)| NfsRequest::Write { fh, offset, data }),
+        (arb_fh(), arb_name(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
+            |(dir, name, mode, uid, gid)| NfsRequest::Create {
+                dir,
+                name,
+                mode,
+                uid,
+                gid
+            }
+        ),
+        (arb_fh(), arb_name(), any::<u64>(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
+            |(dir, name, size, mode, uid, gid)| NfsRequest::CreateSized {
+                dir,
+                name,
+                size,
+                mode,
+                uid,
+                gid
+            }
+        ),
+        (arb_fh(), arb_name(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
+            |(dir, name, mode, uid, gid)| NfsRequest::Mkdir {
+                dir,
+                name,
+                mode,
+                uid,
+                gid
+            }
+        ),
+        (arb_fh(), arb_name(), arb_name(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
+            |(dir, name, target, mode, uid, gid)| NfsRequest::Symlink {
+                dir,
+                name,
+                target,
+                mode,
+                uid,
+                gid
+            }
+        ),
+        (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::Remove { dir, name }),
+        (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::Rmdir { dir, name }),
+        (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::RemoveTree { dir, name }),
+        (arb_fh(), arb_name(), arb_fh(), arb_name()).prop_map(
+            |(sdir, sname, ddir, dname)| NfsRequest::Rename {
+                sdir,
+                sname,
+                ddir,
+                dname
+            }
+        ),
+        arb_fh().prop_map(|dir| NfsRequest::Readdir { dir }),
+        (arb_fh(), any::<u32>(), any::<u32>(), 0u32..8).prop_map(
+            |(fh, uid, gid, want)| NfsRequest::Access { fh, uid, gid, want }
+        ),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = NfsReply> {
+    prop_oneof![
+        Just(NfsReply::Void),
+        arb_fh().prop_map(|fh| NfsReply::Root { fh }),
+        arb_attr().prop_map(|a| NfsReply::Attr {
+            attr: kosha_nfs::WireAttr(a)
+        }),
+        (arb_fh(), arb_attr()).prop_map(|(fh, a)| NfsReply::Handle {
+            fh,
+            attr: kosha_nfs::WireAttr(a)
+        }),
+        arb_name().prop_map(|target| NfsReply::Target { target }),
+        (proptest::collection::vec(any::<u8>(), 0..512), any::<bool>())
+            .prop_map(|(data, eof)| NfsReply::Data { data, eof }),
+        any::<u32>().prop_map(|count| NfsReply::Written { count }),
+        proptest::collection::vec((arb_name(), arb_fh(), arb_ftype()), 0..16).prop_map(|v| {
+            NfsReply::Entries {
+                entries: v
+                    .into_iter()
+                    .map(|(name, fh, ftype)| WireDirEntry { name, fh, ftype })
+                    .collect(),
+            }
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(capacity, used, free)| {
+            NfsReply::Stat {
+                capacity,
+                used,
+                free,
+            }
+        }),
+        (0u32..8).prop_map(|granted| NfsReply::Granted { granted }),
+    ]
+}
+
+fn arb_status() -> impl Strategy<Value = NfsStatus> {
+    prop_oneof![
+        Just(NfsStatus::NoEnt),
+        Just(NfsStatus::NotDir),
+        Just(NfsStatus::IsDir),
+        Just(NfsStatus::Exist),
+        Just(NfsStatus::NotEmpty),
+        Just(NfsStatus::NoSpc),
+        Just(NfsStatus::Stale),
+        Just(NfsStatus::Inval),
+        Just(NfsStatus::NameTooLong),
+        Just(NfsStatus::NotSupp),
+        Just(NfsStatus::Io),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let bytes = req.encode();
+        prop_assert_eq!(NfsRequest::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn reply_frames_round_trip(frame in prop_oneof![
+        arb_reply().prop_map(|r| NfsReplyFrame(Ok(r))),
+        arb_status().prop_map(|s| NfsReplyFrame(Err(s))),
+    ]) {
+        let bytes = frame.encode();
+        prop_assert_eq!(NfsReplyFrame::decode(&bytes).unwrap(), frame);
+    }
+
+    /// Decoding arbitrary garbage never panics — it returns an error or
+    /// (rarely) parses as some valid message.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = NfsRequest::decode(&bytes);
+        let _ = NfsReplyFrame::decode(&bytes);
+    }
+}

@@ -1,0 +1,854 @@
+//! The Pastry node: iterative prefix routing, join, failure repair, and
+//! leaf-set change notifications.
+
+use crate::messages::{NodeInfo, PastryReply, PastryRequest};
+use crate::state::{LeafSet, RoutingTable};
+use kosha_id::Id;
+use kosha_rpc::network::call_typed;
+use kosha_rpc::{Network, NodeAddr, RpcError, RpcHandler, RpcResponse, ServiceId};
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
+use std::sync::Arc;
+
+/// Overlay tuning parameters.
+#[derive(Debug, Clone)]
+pub struct PastryConfig {
+    /// Nodes kept on each side of the leaf set (`l/2`). Pastry's common
+    /// configuration is `l = 16`, i.e. `leaf_half = 8`.
+    pub leaf_half: usize,
+    /// Safety cap on routing hops before declaring a routing loop.
+    pub max_hops: usize,
+    /// Pastry's locality heuristic (Castro et al., "Exploiting network
+    /// proximity in peer-to-peer overlay networks", cited by the paper):
+    /// when learning a node, measure its round-trip time and let closer
+    /// nodes displace farther incumbents in routing-table slots. Costs
+    /// one ping per learned node; off by default.
+    pub proximity_aware: bool,
+}
+
+impl Default for PastryConfig {
+    fn default() -> Self {
+        PastryConfig {
+            leaf_half: 8,
+            max_hops: 64,
+            proximity_aware: false,
+        }
+    }
+}
+
+/// Errors surfaced by overlay operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// Transport failure that could not be routed around.
+    Rpc(RpcError),
+    /// No live route to the key's owner was found within the hop cap.
+    NoRoute,
+}
+
+impl fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverlayError::Rpc(e) => write!(f, "overlay rpc failed: {e}"),
+            OverlayError::NoRoute => write!(f, "no route to key owner"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+impl From<RpcError> for OverlayError {
+    fn from(e: RpcError) -> Self {
+        OverlayError::Rpc(e)
+    }
+}
+
+/// Application callback for leaf-set membership changes — the hook Kosha's
+/// replica manager registers (Section 4.3: the p2p component "informs
+/// Kosha on a node N when nodes in N's leaf set are affected").
+///
+/// Callbacks are invoked *outside* the node's state lock; they may issue
+/// network calls (e.g. to push replicas to a new neighbor) but must not
+/// call back into the node that triggered the notification synchronously.
+pub trait OverlayObserver: Send + Sync {
+    /// A node entered this node's leaf set.
+    fn on_leaf_joined(&self, node: NodeInfo) {
+        let _ = node;
+    }
+    /// A node left this node's leaf set (failure or departure).
+    fn on_leaf_left(&self, node: NodeInfo) {
+        let _ = node;
+    }
+}
+
+struct State {
+    rt: RoutingTable,
+    ls: LeafSet,
+    /// Addresses this node currently believes are dead. Entries are added
+    /// on observed failures and removed when the address proves itself
+    /// alive (an `Announce` or successful ping). Without this suspicion
+    /// list, repair would re-learn a dead neighbor from a peer that has
+    /// not yet noticed the failure, then re-fail it — forever.
+    dead: std::collections::HashSet<NodeAddr>,
+}
+
+/// One overlay participant.
+///
+/// ```
+/// use kosha_id::node_id_from_seed;
+/// use kosha_pastry::{PastryConfig, PastryNode};
+/// use kosha_rpc::{Network, NodeAddr, ServiceId, ServiceMux, SimNetwork};
+/// use std::sync::Arc;
+///
+/// let net = SimNetwork::new_zero_latency();
+/// let mut nodes = Vec::new();
+/// for i in 0..4u64 {
+///     let node = PastryNode::new(
+///         PastryConfig::default(),
+///         node_id_from_seed(&format!("doc-{i}")),
+///         NodeAddr(i),
+///         net.clone() as Arc<dyn Network>,
+///     );
+///     let mux = Arc::new(ServiceMux::new());
+///     mux.register(ServiceId::Pastry, node.clone());
+///     net.attach(node.addr(), mux);
+///     node.join(if i == 0 { None } else { Some(NodeAddr(0)) }).unwrap();
+///     nodes.push(node);
+/// }
+/// // Every node routes a key to the same owner.
+/// let key = kosha_id::dir_key("projects");
+/// let owner = nodes[0].route_owner(key).unwrap();
+/// for n in &nodes {
+///     assert_eq!(n.route_owner(key).unwrap().id, owner.id);
+/// }
+/// ```
+pub struct PastryNode {
+    info: NodeInfo,
+    cfg: PastryConfig,
+    net: Arc<dyn Network>,
+    state: Mutex<State>,
+    observers: RwLock<Vec<Arc<dyn OverlayObserver>>>,
+}
+
+impl PastryNode {
+    /// Creates a node with identifier `id` at transport address `addr`.
+    /// The node participates once [`PastryNode::join`] has been called and
+    /// the returned handler is registered for [`ServiceId::Pastry`].
+    pub fn new(cfg: PastryConfig, id: Id, addr: NodeAddr, net: Arc<dyn Network>) -> Arc<Self> {
+        let info = NodeInfo { id, addr };
+        Arc::new(PastryNode {
+            info,
+            state: Mutex::new(State {
+                rt: RoutingTable::new(id),
+                ls: LeafSet::new(id, cfg.leaf_half),
+                dead: std::collections::HashSet::new(),
+            }),
+            cfg,
+            net,
+            observers: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// This node's overlay identity.
+    #[must_use]
+    pub fn info(&self) -> NodeInfo {
+        self.info
+    }
+
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> Id {
+        self.info.id
+    }
+
+    /// This node's transport address.
+    #[must_use]
+    pub fn addr(&self) -> NodeAddr {
+        self.info.addr
+    }
+
+    /// Registers a leaf-set observer.
+    pub fn add_observer(&self, obs: Arc<dyn OverlayObserver>) {
+        self.observers.write().push(obs);
+    }
+
+    /// Current distinct leaf-set members.
+    #[must_use]
+    pub fn leaf_members(&self) -> Vec<NodeInfo> {
+        self.state.lock().ls.members()
+    }
+
+    /// The `k` nearest leaf-set nodes for replica placement (Section 4.2).
+    #[must_use]
+    pub fn replica_targets(&self, k: usize) -> Vec<NodeInfo> {
+        self.state.lock().ls.replica_targets(k)
+    }
+
+    /// Every node this node currently knows (leaf set + routing table).
+    #[must_use]
+    pub fn known_nodes(&self) -> Vec<NodeInfo> {
+        let st = self.state.lock();
+        let mut out = st.ls.members();
+        for n in st.rt.all_entries() {
+            if !out.iter().any(|m| m.id == n.id) {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    // ---- learning and forgetting -------------------------------------
+
+    /// Absorbs knowledge of `node`; fires `on_leaf_joined` if it entered
+    /// the leaf set. With proximity awareness on, the node's RTT is
+    /// measured first (outside any lock) so closer nodes win slots.
+    pub fn learn(&self, node: NodeInfo) {
+        if node.id == self.info.id {
+            return;
+        }
+        let rtt = if self.cfg.proximity_aware {
+            if self.state.lock().dead.contains(&node.addr) {
+                return;
+            }
+            self.measure_rtt(node.addr)
+        } else {
+            None
+        };
+        let entered_ls = {
+            let mut st = self.state.lock();
+            if st.dead.contains(&node.addr) {
+                return; // refuse to re-learn a suspected-dead address
+            }
+            st.rt.insert_with_rtt(node, rtt);
+            st.ls.insert(node)
+        };
+        if entered_ls {
+            for obs in self.observers.read().iter() {
+                obs.on_leaf_joined(node);
+            }
+        }
+    }
+
+    /// Drops all knowledge of the node at `addr`; fires `on_leaf_left` for
+    /// each leaf-set member removed, then repairs the leaf set from the
+    /// surviving extremes.
+    pub fn note_failed(&self, addr: NodeAddr) {
+        if addr == self.info.addr {
+            return;
+        }
+        let removed = {
+            let mut st = self.state.lock();
+            let newly_dead = st.dead.insert(addr);
+            st.rt.remove_addr(addr);
+            let removed = st.ls.remove_addr(addr);
+            if !newly_dead && removed.is_empty() {
+                return; // already processed this failure
+            }
+            removed
+        };
+        if removed.is_empty() {
+            return;
+        }
+        for n in &removed {
+            for obs in self.observers.read().iter() {
+                obs.on_leaf_left(*n);
+            }
+        }
+        self.repair_leafset_excluding(&[addr]);
+    }
+
+    /// Refills the leaf set by asking the surviving extremes (and, if the
+    /// set emptied, the routing table) for their leaf sets.
+    pub fn repair_leafset(&self) {
+        self.repair_leafset_excluding(&[]);
+    }
+
+    /// Leaf-set repair that refuses to re-learn `dead` addresses — used
+    /// right after a failure/departure, when other nodes may still be
+    /// advertising the dead node in their leaf sets.
+    fn repair_leafset_excluding(&self, dead: &[NodeAddr]) {
+        let sources: Vec<NodeInfo> = {
+            let st = self.state.lock();
+            let mut s = st.ls.extremes();
+            if s.is_empty() {
+                s = st.rt.all_entries();
+                s.truncate(4);
+            }
+            s
+        };
+        for src in sources {
+            if dead.contains(&src.addr) {
+                continue;
+            }
+            match self.rpc(src.addr, &PastryRequest::GetLeafSet) {
+                Ok(PastryReply::LeafSet { me, members }) => {
+                    self.learn(me);
+                    for m in members {
+                        if !dead.contains(&m.addr) {
+                            self.learn(m);
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    // The repair source itself is dead; recurse (bounded by
+                    // ring size since each failure shrinks our tables).
+                    self.note_failed(src.addr);
+                }
+            }
+        }
+    }
+
+    /// Liveness-probes every leaf-set member, dropping and repairing dead
+    /// ones, then re-announces this node to its neighborhood. Called
+    /// periodically by the hosting application (simulations call it after
+    /// failure events).
+    pub fn maintain(&self) {
+        for m in self.leaf_members() {
+            match self.rpc(m.addr, &PastryRequest::Ping) {
+                Ok(PastryReply::Pong { node }) if node.id == m.id => {}
+                _ => self.note_failed(m.addr),
+            }
+        }
+        for m in self.leaf_members() {
+            let _ = self.rpc(m.addr, &PastryRequest::Announce { node: self.info });
+        }
+    }
+
+    // ---- joining ------------------------------------------------------
+
+    /// Joins the overlay. `bootstrap = None` starts a new overlay of one
+    /// node; otherwise the newcomer routes toward its own id via the
+    /// bootstrap node, seeds its tables from every node on the path plus
+    /// the owner's leaf set, and announces itself to everyone it learned
+    /// of — after which all affected nodes have been informed (and their
+    /// observers fired), as required for Kosha's migration (Section 4.3.1).
+    pub fn join(&self, bootstrap: Option<NodeAddr>) -> Result<(), OverlayError> {
+        let Some(boot) = bootstrap else {
+            return Ok(());
+        };
+        // Identify the bootstrap node.
+        let boot_info = match self.rpc(boot, &PastryRequest::Ping)? {
+            PastryReply::Pong { node } => node,
+            _ => return Err(OverlayError::Rpc(RpcError::Remote("bad pong".into()))),
+        };
+        self.learn(boot_info);
+        // Route toward our own id, collecting the path.
+        let mut exclude: Vec<NodeAddr> = vec![self.info.addr];
+        let mut current = boot_info;
+        let mut path = vec![boot_info];
+        let mut hops = 0;
+        loop {
+            hops += 1;
+            if hops > self.cfg.max_hops {
+                return Err(OverlayError::NoRoute);
+            }
+            let reply = self.rpc(
+                current.addr,
+                &PastryRequest::NextHop {
+                    key: self.info.id,
+                    exclude: exclude.clone(),
+                },
+            );
+            match reply {
+                Ok(PastryReply::NextHop { next, owner }) => {
+                    if owner || next.is_none() {
+                        break;
+                    }
+                    let next = next.expect("checked");
+                    if next.id == current.id || path.iter().any(|p| p.id == next.id) {
+                        break;
+                    }
+                    path.push(next);
+                    current = next;
+                }
+                Ok(_) => return Err(OverlayError::Rpc(RpcError::Remote("bad reply".into()))),
+                Err(RpcError::Unreachable(a)) => {
+                    exclude.push(a);
+                    self.note_failed(a);
+                    // Fall back to the previous live path node.
+                    match path.iter().rev().find(|p| !exclude.contains(&p.addr)) {
+                        Some(prev) => current = *prev,
+                        None => return Err(OverlayError::NoRoute),
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Seed state: each path node's relevant routing row + the owner's
+        // (and path nodes') leaf sets.
+        for (i, p) in path.clone().into_iter().enumerate() {
+            self.learn(p);
+            let row = self.info.id.shared_prefix_digits(p.id).min(i);
+            if let Ok(PastryReply::Row { entries }) =
+                self.rpc(p.addr, &PastryRequest::GetRow { row: row as u32 })
+            {
+                for e in entries {
+                    self.learn(e);
+                }
+            }
+            if let Ok(PastryReply::LeafSet { me, members }) =
+                self.rpc(p.addr, &PastryRequest::GetLeafSet)
+            {
+                self.learn(me);
+                for m in members {
+                    self.learn(m);
+                }
+            }
+        }
+        // Announce ourselves to everyone we know.
+        for n in self.known_nodes() {
+            let _ = self.rpc(n.addr, &PastryRequest::Announce { node: self.info });
+        }
+        Ok(())
+    }
+
+    /// Gracefully leaves the overlay, notifying every known node.
+    pub fn leave(&self) {
+        for n in self.known_nodes() {
+            let _ = self.rpc(n.addr, &PastryRequest::Depart { node: self.info });
+        }
+    }
+
+    // ---- routing ------------------------------------------------------
+
+    /// Local next-hop decision (one step of Pastry's routing procedure).
+    fn local_next_hop(&self, key: Id, exclude: &[NodeAddr]) -> (Option<NodeInfo>, bool) {
+        let st = self.state.lock();
+        let me = self.info.id;
+        if key == me {
+            return (None, true);
+        }
+        if st.ls.covers(key) {
+            return match st.ls.closest_to(key, exclude) {
+                None => (None, true),
+                Some(n) => (Some(n), false),
+            };
+        }
+        // Prefix routing step.
+        if let Some(e) = st.rt.entry_for(key) {
+            if !exclude.contains(&e.addr) {
+                return (Some(e), false);
+            }
+        }
+        // Rare case: any known node with at least as long a prefix that is
+        // strictly numerically closer to the key than we are.
+        let row = me.shared_prefix_digits(key);
+        let mut best: Option<NodeInfo> = None;
+        let mut best_d = me.ring_distance(key);
+        let candidates = st
+            .ls
+            .members()
+            .into_iter()
+            .chain(st.rt.all_entries())
+            .collect::<Vec<_>>();
+        for c in candidates {
+            if exclude.contains(&c.addr) {
+                continue;
+            }
+            if c.id.shared_prefix_digits(key) >= row {
+                let d = c.id.ring_distance(key);
+                if d < best_d {
+                    best_d = d;
+                    best = Some(c);
+                }
+            }
+        }
+        match best {
+            Some(n) => (Some(n), false),
+            None => (None, true),
+        }
+    }
+
+    /// Routes `key` to its owner: the live node whose id is numerically
+    /// closest. Returns the owner and the number of overlay hops taken
+    /// (0 when this node owns the key).
+    pub fn route(&self, key: Id) -> Result<(NodeInfo, usize), OverlayError> {
+        let mut exclude: Vec<NodeAddr> = Vec::new();
+        let mut hops = 0usize;
+        let mut total = 0usize;
+        'restart: loop {
+            let mut current = self.info;
+            loop {
+                total += 1;
+                if total > self.cfg.max_hops * 2 {
+                    return Err(OverlayError::NoRoute);
+                }
+                let (next, owner) = if current.id == self.info.id {
+                    self.local_next_hop(key, &exclude)
+                } else {
+                    match self.rpc(
+                        current.addr,
+                        &PastryRequest::NextHop {
+                            key,
+                            exclude: exclude.clone(),
+                        },
+                    ) {
+                        Ok(PastryReply::NextHop { next, owner }) => (next, owner),
+                        Ok(_) => {
+                            return Err(OverlayError::Rpc(RpcError::Remote("bad reply".into())))
+                        }
+                        Err(RpcError::Unreachable(a)) => {
+                            exclude.push(a);
+                            self.note_failed(a);
+                            continue 'restart;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                };
+                if owner || next.is_none() {
+                    return Ok((current, hops));
+                }
+                let next = next.expect("checked");
+                if next.id == current.id {
+                    return Ok((current, hops));
+                }
+                // Verify the proposed hop is alive before committing: the
+                // NextHop RPC to it will be the verification; a dead hop is
+                // excluded and routing restarts.
+                current = next;
+                hops += 1;
+            }
+        }
+    }
+
+    /// Routes `key` and discards the hop count.
+    pub fn route_owner(&self, key: Id) -> Result<NodeInfo, OverlayError> {
+        self.route(key).map(|(n, _)| n)
+    }
+
+    /// Measures round-trip time to `addr` with one ping, on the shared
+    /// clock (virtual or wall). `None` if the node is unreachable.
+    pub fn measure_rtt(&self, addr: NodeAddr) -> Option<std::time::Duration> {
+        let clock = self.net.clock();
+        let t0 = clock.now();
+        match self.rpc(addr, &PastryRequest::Ping) {
+            Ok(PastryReply::Pong { .. }) => Some(clock.now().since(t0)),
+            _ => None,
+        }
+    }
+
+    fn rpc(&self, to: NodeAddr, req: &PastryRequest) -> Result<PastryReply, RpcError> {
+        call_typed(
+            self.net.as_ref(),
+            self.info.addr,
+            to,
+            ServiceId::Pastry,
+            req,
+        )
+    }
+}
+
+impl RpcHandler for PastryNode {
+    fn handle(&self, from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+        use kosha_rpc::WireRead;
+        let req = PastryRequest::decode(body)?;
+        let _ = from;
+        let reply = match req {
+            PastryRequest::NextHop { key, exclude } => {
+                let (next, owner) = self.local_next_hop(key, &exclude);
+                PastryReply::NextHop { next, owner }
+            }
+            PastryRequest::GetRow { row } => PastryReply::Row {
+                entries: self.state.lock().rt.row_entries(row as usize),
+            },
+            PastryRequest::GetLeafSet => PastryReply::LeafSet {
+                me: self.info,
+                members: self.leaf_members(),
+            },
+            PastryRequest::Announce { node } => {
+                // An announcement is proof of life: clear any suspicion of
+                // this address (e.g. a recovered or reincarnated machine).
+                self.state.lock().dead.remove(&node.addr);
+                self.learn(node);
+                PastryReply::Ack
+            }
+            PastryRequest::Depart { node } => {
+                self.note_failed(node.addr);
+                PastryReply::Ack
+            }
+            PastryRequest::Ping => PastryReply::Pong { node: self.info },
+        };
+        Ok(RpcResponse::new(&reply))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kosha_id::node_id_from_seed;
+    use kosha_id::id::numerically_closest;
+    use kosha_rpc::{ServiceMux, SimNetwork};
+
+    /// Builds an overlay of `n` nodes joined sequentially through node 0.
+    fn build_ring(n: usize) -> (Arc<SimNetwork>, Vec<Arc<PastryNode>>) {
+        let net = SimNetwork::new_zero_latency();
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let id = node_id_from_seed(&format!("host-{i}"));
+            let node = PastryNode::new(
+                PastryConfig::default(),
+                id,
+                NodeAddr(i as u64),
+                net.clone() as Arc<dyn Network>,
+            );
+            let mux = Arc::new(ServiceMux::new());
+            mux.register(ServiceId::Pastry, node.clone());
+            net.attach(node.addr(), mux);
+            let boot = if i == 0 { None } else { Some(NodeAddr(0)) };
+            node.join(boot).unwrap();
+            nodes.push(node);
+        }
+        (net, nodes)
+    }
+
+    fn expected_owner(nodes: &[Arc<PastryNode>], key: Id, dead: &[u64]) -> Id {
+        let ids: Vec<Id> = nodes
+            .iter()
+            .filter(|n| !dead.contains(&n.addr().0))
+            .map(|n| n.id())
+            .collect();
+        numerically_closest(key, &ids).unwrap()
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let (_net, nodes) = build_ring(1);
+        let (owner, hops) = nodes[0].route(Id(12345)).unwrap();
+        assert_eq!(owner.id, nodes[0].id());
+        assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn all_nodes_agree_on_ownership() {
+        let (_net, nodes) = build_ring(12);
+        for k in 0..40u32 {
+            let key = node_id_from_seed(&format!("key-{k}"));
+            let expect = expected_owner(&nodes, key, &[]);
+            for n in &nodes {
+                let (owner, _) = n.route(key).unwrap();
+                assert_eq!(
+                    owner.id, expect,
+                    "node {} disagrees on key {k}",
+                    n.addr()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_overlay_routes_in_one_hop() {
+        // Section 6.1.1: "the DHT lookup is always one hop in the small
+        // p2p overlay" — with 8 nodes and l=16 every node knows every
+        // other, so routing is at most one hop.
+        let (_net, nodes) = build_ring(8);
+        for k in 0..20u32 {
+            let key = node_id_from_seed(&format!("key-{k}"));
+            for n in &nodes {
+                let (_, hops) = n.route(key).unwrap();
+                assert!(hops <= 1, "{} hops in an 8-node overlay", hops);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_survives_failures() {
+        let (net, nodes) = build_ring(16);
+        // Kill five nodes.
+        let dead = [3u64, 5, 8, 11, 13];
+        for d in dead {
+            net.fail_node(NodeAddr(d));
+        }
+        for n in nodes.iter().filter(|n| !dead.contains(&n.addr().0)) {
+            n.maintain();
+        }
+        for k in 0..30u32 {
+            let key = node_id_from_seed(&format!("key-{k}"));
+            let expect = expected_owner(&nodes, key, &dead);
+            for n in nodes.iter().filter(|n| !dead.contains(&n.addr().0)) {
+                let (owner, _) = n.route(key).unwrap();
+                assert_eq!(owner.id, expect, "after failures, node {}", n.addr());
+            }
+        }
+    }
+
+    #[test]
+    fn leafset_observer_fires_on_join_and_failure() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Counter {
+            joined: AtomicUsize,
+            left: AtomicUsize,
+        }
+        impl OverlayObserver for Counter {
+            fn on_leaf_joined(&self, _n: NodeInfo) {
+                self.joined.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_leaf_left(&self, _n: NodeInfo) {
+                self.left.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let (net, nodes) = build_ring(6);
+        let obs = Arc::new(Counter {
+            joined: AtomicUsize::new(0),
+            left: AtomicUsize::new(0),
+        });
+        nodes[0].add_observer(obs.clone());
+
+        // A 7th node joins: observer on node 0 must fire (6 nodes < l, so
+        // everyone is in everyone's leaf set).
+        let id = node_id_from_seed("host-new");
+        let newcomer = PastryNode::new(
+            PastryConfig::default(),
+            id,
+            NodeAddr(99),
+            net.clone() as Arc<dyn Network>,
+        );
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Pastry, newcomer.clone());
+        net.attach(NodeAddr(99), mux);
+        newcomer.join(Some(NodeAddr(0))).unwrap();
+        assert_eq!(obs.joined.load(Ordering::SeqCst), 1);
+
+        // It fails: maintenance on node 0 must fire on_leaf_left.
+        net.fail_node(NodeAddr(99));
+        nodes[0].maintain();
+        assert_eq!(obs.left.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn departure_removes_node_from_tables() {
+        let (_net, nodes) = build_ring(5);
+        nodes[4].leave();
+        for n in &nodes[..4] {
+            assert!(
+                !n.leaf_members().iter().any(|m| m.id == nodes[4].id()),
+                "node {} still lists the departed node",
+                n.addr()
+            );
+        }
+    }
+
+    #[test]
+    fn hops_scale_logarithmically() {
+        let (_net, nodes) = build_ring(48);
+        let mut max_hops = 0;
+        for k in 0..60u32 {
+            let key = node_id_from_seed(&format!("key-{k}"));
+            let (_, hops) = nodes[k as usize % 48].route(key).unwrap();
+            max_hops = max_hops.max(hops);
+        }
+        // With b=4 and 48 nodes, log_16(48) < 2; generous bound of 4
+        // accommodates sparse routing tables right after join.
+        assert!(max_hops <= 4, "max hops {max_hops} too high for 48 nodes");
+    }
+
+    #[test]
+    fn proximity_awareness_prefers_nearby_hops() {
+        use kosha_rpc::{Clock, LatencyModel};
+        use std::time::Duration;
+
+        // Two clusters 100 units apart; within-cluster links are cheap.
+        let build = |proximity: bool| -> Duration {
+            let net = SimNetwork::new(LatencyModel {
+                hop_latency: Duration::from_micros(50),
+                per_distance_unit: Duration::from_micros(20),
+                bandwidth_bps: u64::MAX,
+                server_op_cost: Duration::ZERO,
+                loopback_cost: Duration::ZERO,
+                timeout: Duration::from_millis(100),
+            });
+            let n = 40usize;
+            let mut nodes = Vec::new();
+            for i in 0..n {
+                let addr = NodeAddr(i as u64);
+                // Even nodes in cluster A (near origin), odd in cluster B.
+                let (x, y) = if i % 2 == 0 {
+                    ((i % 7) as f64, (i % 5) as f64)
+                } else {
+                    (100.0 + (i % 7) as f64, (i % 5) as f64)
+                };
+                net.set_coord(addr, x, y);
+                let node = PastryNode::new(
+                    PastryConfig {
+                        leaf_half: 4,
+                        max_hops: 64,
+                        proximity_aware: proximity,
+                    },
+                    node_id_from_seed(&format!("prox-{i}")),
+                    addr,
+                    net.clone() as Arc<dyn Network>,
+                );
+                let mux = Arc::new(ServiceMux::new());
+                mux.register(ServiceId::Pastry, node.clone());
+                net.attach(addr, mux);
+                node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
+                    .unwrap();
+                nodes.push(node);
+            }
+            // Measure the routing cost of a key batch from node 0
+            // (cluster A).
+            let clock = net.virtual_clock();
+            clock.reset();
+            for k in 0..50u32 {
+                let key = node_id_from_seed(&format!("key-{k}"));
+                nodes[0].route(key).unwrap();
+            }
+            clock.now().as_duration()
+        };
+
+        let flat = build(false);
+        let proximal = build(true);
+        assert!(
+            proximal <= flat,
+            "proximity routing slower: {proximal:?} > {flat:?}"
+        );
+    }
+
+    #[test]
+    fn rtt_measurement_reflects_topology() {
+        use kosha_rpc::LatencyModel;
+        use std::time::Duration;
+
+        let net = SimNetwork::new(LatencyModel {
+            hop_latency: Duration::from_micros(50),
+            per_distance_unit: Duration::from_micros(10),
+            bandwidth_bps: u64::MAX,
+            server_op_cost: Duration::ZERO,
+            loopback_cost: Duration::ZERO,
+            timeout: Duration::from_millis(100),
+        });
+        for (i, x) in [(0u64, 0.0), (1, 1.0), (2, 50.0)] {
+            net.set_coord(NodeAddr(i), x, 0.0);
+        }
+        let mut nodes = Vec::new();
+        for i in 0..3u64 {
+            let node = PastryNode::new(
+                PastryConfig::default(),
+                node_id_from_seed(&format!("rtt-{i}")),
+                NodeAddr(i),
+                net.clone() as Arc<dyn Network>,
+            );
+            let mux = Arc::new(ServiceMux::new());
+            mux.register(ServiceId::Pastry, node.clone());
+            net.attach(NodeAddr(i), mux);
+            node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
+                .unwrap();
+            nodes.push(node);
+        }
+        let near = nodes[0].measure_rtt(NodeAddr(1)).unwrap();
+        let far = nodes[0].measure_rtt(NodeAddr(2)).unwrap();
+        assert!(far > near, "far {far:?} !> near {near:?}");
+        assert!(nodes[0].measure_rtt(NodeAddr(99)).is_none());
+    }
+
+    #[test]
+    fn route_to_own_id_is_self() {
+        let (_net, nodes) = build_ring(10);
+        for n in &nodes {
+            let (owner, hops) = n.route(n.id()).unwrap();
+            assert_eq!(owner.id, n.id());
+            assert_eq!(hops, 0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! RPC substrate for the Kosha reproduction.
+//!
+//! The original Kosha prototype ran on real FreeBSD machines: `koshad`
+//! forwarded Sun RPC NFS calls over a 100 Mb/s LAN, and the Pastry port
+//! exchanged overlay messages over sockets. This crate is the substitution
+//! for that hardware testbed (see DESIGN.md §2): it provides
+//!
+//! * a compact hand-rolled binary **wire codec** ([`wire`]) so every message
+//!   has a concrete byte size (the latency model charges per byte),
+//! * a [`Network`] abstraction over which all node-to-node communication
+//!   flows — nodes never share memory, matching the paper's
+//!   message-passing deployment,
+//! * [`SimNetwork`] — a deterministic in-process transport with a virtual
+//!   clock and a calibrated latency model (per-hop RTT, per-byte bandwidth,
+//!   per-operation server cost) plus failure injection, used by all
+//!   experiments, and
+//! * [`ThreadedNetwork`] — a real concurrent transport (one mailbox thread
+//!   per node, crossbeam channels) used by concurrency integration tests.
+//!
+//! Handlers are registered per [`ServiceId`] (Pastry, NFS, Kosha control),
+//! mirroring the two-level messaging of the prototype: "node lookup and
+//! other p2p messages are relayed using the p2p substrate \[...\] koshad uses
+//! direct NFS RPCs to communicate with remote NFS servers" (Section 5.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod network;
+pub mod simnet;
+pub mod threadnet;
+pub mod wire;
+
+pub use clock::{Clock, SimTime, VirtualClock, WallClock};
+pub use network::{
+    Network, NodeAddr, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId, ServiceMux,
+};
+pub use simnet::{LatencyModel, NetStats, SimNetwork};
+pub use threadnet::ThreadedNetwork;
+pub use wire::{Reader, WireError, WireRead, WireWrite, Writer};

@@ -1,0 +1,302 @@
+//! The node-to-node communication abstraction.
+//!
+//! Every interaction between machines in the system — Pastry overlay
+//! messages, NFS RPCs, Kosha control traffic — is a blocking request/reply
+//! [`Network::call`] carrying encoded bytes. Nodes register an
+//! [`RpcHandler`] per [`ServiceId`] in a [`ServiceMux`]; the transport owns
+//! delivery, latency, and failure semantics.
+
+use crate::clock::Clock;
+use crate::wire::{Reader, WireError, WireRead, WireWrite, Writer};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Physical address of a machine (stable across its lifetime, unlike its
+/// Pastry identifier, which changes if the node is reincarnated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr(pub u64);
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl WireWrite for NodeAddr {
+    fn write(&self, w: &mut Writer) {
+        w.u64(self.0);
+    }
+}
+impl WireRead for NodeAddr {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeAddr(r.u64()?))
+    }
+}
+
+/// Identifies which protocol layer a request is addressed to, mirroring the
+/// prototype's two-level messaging (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceId {
+    /// Pastry overlay maintenance and routing queries.
+    Pastry,
+    /// NFS protocol operations against a node's local store.
+    Nfs,
+    /// Kosha-to-Kosha control traffic (replication, migration).
+    Kosha,
+    /// The `koshad` loopback NFS server exporting the virtual `/kosha`
+    /// file system (virtual handles). Distinct from [`ServiceId::Nfs`],
+    /// which is the node's *real* NFS export of its contributed disk.
+    KoshaFs,
+}
+
+impl ServiceId {
+    fn tag(self) -> u8 {
+        match self {
+            ServiceId::Pastry => 1,
+            ServiceId::Nfs => 2,
+            ServiceId::Kosha => 3,
+            ServiceId::KoshaFs => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, WireError> {
+        match t {
+            1 => Ok(ServiceId::Pastry),
+            2 => Ok(ServiceId::Nfs),
+            3 => Ok(ServiceId::Kosha),
+            4 => Ok(ServiceId::KoshaFs),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl WireWrite for ServiceId {
+    fn write(&self, w: &mut Writer) {
+        w.u8(self.tag());
+    }
+}
+impl WireRead for ServiceId {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        ServiceId::from_tag(r.u8()?)
+    }
+}
+
+/// A request frame: destination service plus an opaque encoded body.
+#[derive(Debug, Clone)]
+pub struct RpcRequest {
+    /// Which protocol layer should handle the body.
+    pub service: ServiceId,
+    /// Encoded request payload (layer-specific message type).
+    pub body: Bytes,
+}
+
+impl RpcRequest {
+    /// Builds a request by encoding `msg` for `service`.
+    pub fn new<T: WireWrite>(service: ServiceId, msg: &T) -> Self {
+        RpcRequest {
+            service,
+            body: msg.encode(),
+        }
+    }
+
+    /// Total frame size in bytes (header + body), used for byte accounting.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        // service tag + u32 length + body
+        1 + 4 + self.body.len()
+    }
+}
+
+/// A reply frame: opaque encoded body.
+#[derive(Debug, Clone)]
+pub struct RpcResponse {
+    /// Encoded response payload.
+    pub body: Bytes,
+}
+
+impl RpcResponse {
+    /// Builds a response by encoding `msg`.
+    pub fn new<T: WireWrite>(msg: &T) -> Self {
+        RpcResponse { body: msg.encode() }
+    }
+
+    /// Decodes the body as `T`.
+    pub fn decode<T: WireRead>(&self) -> Result<T, RpcError> {
+        T::decode(&self.body).map_err(RpcError::Decode)
+    }
+
+    /// Total frame size in bytes.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        4 + self.body.len()
+    }
+}
+
+/// Errors surfaced by [`Network::call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Destination is down, unknown, or unreachable; the caller observed a
+    /// timeout. This is the error Kosha's fault handling reacts to
+    /// (Section 4.4: "Kosha detects an RPC error and removes the mapping").
+    Unreachable(NodeAddr),
+    /// The destination had no handler for the addressed service.
+    NoService(ServiceId),
+    /// A payload failed to decode.
+    Decode(WireError),
+    /// The remote handler failed in a way that is not a protocol-level
+    /// status (protocol statuses travel inside response bodies).
+    Remote(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Unreachable(a) => write!(f, "node {a} unreachable"),
+            RpcError::NoService(s) => write!(f, "no handler for service {s:?}"),
+            RpcError::Decode(e) => write!(f, "decode error: {e}"),
+            RpcError::Remote(m) => write!(f, "remote error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<WireError> for RpcError {
+    fn from(e: WireError) -> Self {
+        RpcError::Decode(e)
+    }
+}
+
+/// A protocol layer's message handler. Handlers must be re-entrant with
+/// respect to *other* nodes: while serving a request a handler may issue
+/// nested [`Network::call`]s to third nodes, but must never call back into
+/// the node currently being served (the transports do not guarantee
+/// progress for such cycles, matching real blocking-RPC deployments).
+pub trait RpcHandler: Send + Sync {
+    /// Handles one request from `from`, returning an encoded response.
+    fn handle(&self, from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError>;
+}
+
+/// Per-node table of service handlers.
+#[derive(Default)]
+pub struct ServiceMux {
+    handlers: RwLock<HashMap<ServiceId, Arc<dyn RpcHandler>>>,
+}
+
+impl ServiceMux {
+    /// New empty mux.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the handler for `service`.
+    pub fn register(&self, service: ServiceId, handler: Arc<dyn RpcHandler>) {
+        self.handlers.write().insert(service, handler);
+    }
+
+    /// Dispatches a request to the registered handler.
+    pub fn dispatch(&self, from: NodeAddr, req: &RpcRequest) -> Result<RpcResponse, RpcError> {
+        let handler = self
+            .handlers
+            .read()
+            .get(&req.service)
+            .cloned()
+            .ok_or(RpcError::NoService(req.service))?;
+        handler.handle(from, &req.body)
+    }
+
+    /// The services currently registered (used by transports that
+    /// dedicate resources per service, e.g. one mailbox thread each).
+    #[must_use]
+    pub fn services(&self) -> Vec<ServiceId> {
+        self.handlers.read().keys().copied().collect()
+    }
+
+    /// Fetches one service's handler.
+    #[must_use]
+    pub fn handler(&self, service: ServiceId) -> Option<Arc<dyn RpcHandler>> {
+        self.handlers.read().get(&service).cloned()
+    }
+}
+
+/// A transport connecting nodes. Implementations: [`crate::SimNetwork`]
+/// (deterministic, virtual time) and [`crate::ThreadedNetwork`] (real
+/// threads).
+pub trait Network: Send + Sync {
+    /// Performs a blocking RPC from `from` to `to`.
+    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest)
+        -> Result<RpcResponse, RpcError>;
+
+    /// The clock all participants share.
+    fn clock(&self) -> Arc<dyn Clock>;
+
+    /// Whether `addr` is currently reachable (used by liveness probes).
+    fn is_up(&self, addr: NodeAddr) -> bool;
+}
+
+/// Typed convenience wrapper: encode `msg`, call, decode the reply.
+pub fn call_typed<Req: WireWrite, Resp: WireRead>(
+    net: &dyn Network,
+    from: NodeAddr,
+    to: NodeAddr,
+    service: ServiceId,
+    msg: &Req,
+) -> Result<Resp, RpcError> {
+    let resp = net.call(from, to, RpcRequest::new(service, msg))?;
+    resp.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl RpcHandler for Echo {
+        fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+            Ok(RpcResponse {
+                body: Bytes::copy_from_slice(body),
+            })
+        }
+    }
+
+    #[test]
+    fn mux_dispatches_and_reports_missing() {
+        let mux = ServiceMux::new();
+        mux.register(ServiceId::Nfs, Arc::new(Echo));
+        let req = RpcRequest::new(ServiceId::Nfs, &42u32);
+        let resp = mux.dispatch(NodeAddr(1), &req).unwrap();
+        assert_eq!(resp.decode::<u32>().unwrap(), 42);
+
+        let req = RpcRequest::new(ServiceId::Pastry, &1u8);
+        assert!(matches!(
+            mux.dispatch(NodeAddr(1), &req),
+            Err(RpcError::NoService(ServiceId::Pastry))
+        ));
+    }
+
+    #[test]
+    fn service_id_round_trips() {
+        for s in [
+            ServiceId::Pastry,
+            ServiceId::Nfs,
+            ServiceId::Kosha,
+            ServiceId::KoshaFs,
+        ] {
+            let b = s.encode();
+            assert_eq!(ServiceId::decode(&b).unwrap(), s);
+        }
+        assert!(ServiceId::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn wire_size_accounts_header() {
+        let req = RpcRequest::new(ServiceId::Nfs, &7u64);
+        assert_eq!(req.wire_size(), 1 + 4 + 8);
+        let resp = RpcResponse::new(&7u32);
+        assert_eq!(resp.wire_size(), 4 + 4);
+    }
+}

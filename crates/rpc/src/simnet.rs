@@ -1,0 +1,399 @@
+//! Deterministic simulated transport with a calibrated latency model.
+//!
+//! This is the reproduction's stand-in for the paper's testbed: "Each node
+//! has a 2.0 GHz Intel P4 with 512 MB RAM and a 40 GB 7200 RPM \[disk\], and
+//! runs FreeBSD 4.6. The nodes are connected via a 100 Mb/s Ethernet
+//! switch" (Section 6.1). The [`LatencyModel`] charges, per RPC:
+//!
+//! * a fixed per-message network latency (switch + stack traversal),
+//! * a per-byte cost derived from link bandwidth (both directions),
+//! * a fixed per-request server handling cost (RPC dispatch CPU), and
+//! * **local-bypass**: a call from a node to itself skips the network
+//!   charges and pays only a loopback cost. This asymmetry is what makes
+//!   Kosha's overhead grow with the fraction `(N-1)/N` of remotely stored
+//!   files, the effect Section 6.1.2 analyzes.
+//!
+//! Latency is charged to the shared [`VirtualClock`] along the caller's
+//! (blocking, serial) call path; nested RPCs issued by a handler accumulate
+//! naturally. Failure injection: a call to a failed node charges the
+//! configured timeout and returns [`RpcError::Unreachable`].
+
+use crate::clock::{Clock, VirtualClock};
+use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceMux};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost parameters for the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// One-way network latency per message between distinct hosts. The
+    /// paper's Section 6.1.2 uses "hc is under 1 ms \[...\] typical within an
+    /// organization"; a switched 100 Mb/s LAN RTT is ~0.2–0.4 ms.
+    pub hop_latency: Duration,
+    /// Additional one-way latency per unit of coordinate-space distance
+    /// between two hosts (see [`SimNetwork::set_coord`]). Zero (the
+    /// default) keeps the network topology-flat; non-zero values model a
+    /// multi-switch or multi-site LAN, the setting where Pastry's
+    /// proximity-aware routing pays off.
+    pub per_distance_unit: Duration,
+    /// Link bandwidth in bytes/second (100 Mb/s ≈ 12.5 MB/s).
+    pub bandwidth_bps: u64,
+    /// Fixed server-side cost to dispatch and handle one RPC.
+    pub server_op_cost: Duration,
+    /// Cost of a loopback call (same host): syscall + local RPC dispatch.
+    pub loopback_cost: Duration,
+    /// Time a caller waits before declaring a dead node unreachable.
+    pub timeout: Duration,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            hop_latency: Duration::from_micros(150),
+            per_distance_unit: Duration::ZERO,
+            bandwidth_bps: 12_500_000,
+            server_op_cost: Duration::from_micros(60),
+            loopback_cost: Duration::from_micros(25),
+            timeout: Duration::from_millis(800),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A zero-cost model, useful for logic-only tests.
+    #[must_use]
+    pub fn zero() -> Self {
+        LatencyModel {
+            hop_latency: Duration::ZERO,
+            per_distance_unit: Duration::ZERO,
+            bandwidth_bps: u64::MAX,
+            server_op_cost: Duration::ZERO,
+            loopback_cost: Duration::ZERO,
+            timeout: Duration::ZERO,
+        }
+    }
+
+    fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bps == u64::MAX {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((bytes as u64).saturating_mul(1_000_000_000) / self.bandwidth_bps)
+    }
+
+    /// Total modeled round-trip cost of a remote call with the given
+    /// request/response sizes.
+    #[must_use]
+    pub fn remote_rtt(&self, req_bytes: usize, resp_bytes: usize) -> Duration {
+        self.hop_latency * 2
+            + self.transfer_time(req_bytes)
+            + self.transfer_time(resp_bytes)
+            + self.server_op_cost
+    }
+}
+
+/// Aggregate traffic counters, exposed for experiments and ablations.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Total RPCs attempted (including those that failed).
+    pub calls: AtomicU64,
+    /// RPCs that were node-local (loopback).
+    pub local_calls: AtomicU64,
+    /// RPCs to dead nodes (charged the timeout).
+    pub failed_calls: AtomicU64,
+    /// Total bytes across the wire (requests + responses, remote only).
+    pub bytes: AtomicU64,
+}
+
+impl NetStats {
+    /// Snapshot `(calls, local, failed, bytes)`.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.calls.load(Ordering::Relaxed),
+            self.local_calls.load(Ordering::Relaxed),
+            self.failed_calls.load(Ordering::Relaxed),
+            self.bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.local_calls.store(0, Ordering::Relaxed);
+        self.failed_calls.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+struct Registered {
+    mux: Arc<ServiceMux>,
+}
+
+/// Deterministic in-process transport. See the module docs.
+///
+/// ```
+/// use kosha_rpc::{LatencyModel, Network, NodeAddr, ServiceMux, SimNetwork};
+/// use std::sync::Arc;
+/// let net = SimNetwork::new(LatencyModel::default());
+/// net.attach(NodeAddr(1), Arc::new(ServiceMux::new()));
+/// assert!(net.is_up(NodeAddr(1)));
+/// net.fail_node(NodeAddr(1));
+/// assert!(!net.is_up(NodeAddr(1)));
+/// net.recover_node(NodeAddr(1));
+/// assert!(net.is_up(NodeAddr(1)));
+/// ```
+pub struct SimNetwork {
+    clock: Arc<VirtualClock>,
+    model: LatencyModel,
+    nodes: RwLock<HashMap<NodeAddr, Registered>>,
+    down: RwLock<HashSet<NodeAddr>>,
+    /// Optional coordinates per host for distance-dependent latency.
+    coords: RwLock<HashMap<NodeAddr, (f64, f64)>>,
+    stats: NetStats,
+}
+
+impl SimNetwork {
+    /// New network with the given latency model.
+    #[must_use]
+    pub fn new(model: LatencyModel) -> Arc<Self> {
+        Arc::new(SimNetwork {
+            clock: VirtualClock::new(),
+            model,
+            nodes: RwLock::new(HashMap::new()),
+            down: RwLock::new(HashSet::new()),
+            coords: RwLock::new(HashMap::new()),
+            stats: NetStats::default(),
+        })
+    }
+
+    /// New network with zero latency (logic-only tests).
+    #[must_use]
+    pub fn new_zero_latency() -> Arc<Self> {
+        Self::new(LatencyModel::zero())
+    }
+
+    /// Attaches a node's service mux at `addr`. Re-attaching replaces the
+    /// previous registration (a reinstalled machine).
+    pub fn attach(&self, addr: NodeAddr, mux: Arc<ServiceMux>) {
+        self.nodes.write().insert(addr, Registered { mux });
+        self.down.write().remove(&addr);
+    }
+
+    /// Detaches a node entirely (permanent removal).
+    pub fn detach(&self, addr: NodeAddr) {
+        self.nodes.write().remove(&addr);
+    }
+
+    /// Marks a node as crashed: calls to it time out. Its state is
+    /// preserved (a crashed machine's disk persists), matching the
+    /// availability-trace semantics of Section 6.3.
+    pub fn fail_node(&self, addr: NodeAddr) {
+        self.down.write().insert(addr);
+    }
+
+    /// Revives a previously failed node with its state intact.
+    pub fn recover_node(&self, addr: NodeAddr) {
+        self.down.write().remove(&addr);
+    }
+
+    /// Places a host at coordinates `(x, y)` in the latency space. Pairs
+    /// without coordinates (or with `per_distance_unit == 0`) pay only
+    /// the flat [`LatencyModel::hop_latency`].
+    pub fn set_coord(&self, addr: NodeAddr, x: f64, y: f64) {
+        self.coords.write().insert(addr, (x, y));
+    }
+
+    /// One-way latency between two hosts under the model + topology.
+    #[must_use]
+    pub fn link_latency(&self, a: NodeAddr, b: NodeAddr) -> Duration {
+        if self.model.per_distance_unit.is_zero() {
+            return self.model.hop_latency;
+        }
+        let coords = self.coords.read();
+        match (coords.get(&a), coords.get(&b)) {
+            (Some(&(ax, ay)), Some(&(bx, by))) => {
+                let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+                self.model.hop_latency + self.model.per_distance_unit.mul_f64(d)
+            }
+            _ => self.model.hop_latency,
+        }
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The latency model in force.
+    #[must_use]
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// The virtual clock (typed, for `reset`).
+    #[must_use]
+    pub fn virtual_clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// All currently attached addresses (test/diagnostic helper).
+    #[must_use]
+    pub fn attached(&self) -> Vec<NodeAddr> {
+        self.nodes.read().keys().copied().collect()
+    }
+}
+
+impl Network for SimNetwork {
+    fn call(
+        &self,
+        from: NodeAddr,
+        to: NodeAddr,
+        req: RpcRequest,
+    ) -> Result<RpcResponse, RpcError> {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+
+        let is_down = self.down.read().contains(&to);
+        let mux = if is_down {
+            None
+        } else {
+            self.nodes.read().get(&to).map(|r| Arc::clone(&r.mux))
+        };
+
+        let Some(mux) = mux else {
+            self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
+            self.clock.advance(self.model.timeout);
+            return Err(RpcError::Unreachable(to));
+        };
+
+        if from == to {
+            self.stats.local_calls.fetch_add(1, Ordering::Relaxed);
+            self.clock.advance(self.model.loopback_cost);
+            return mux.dispatch(from, &req);
+        }
+
+        let req_bytes = req.wire_size();
+        let link = self.link_latency(from, to);
+        // Charge request-direction costs before the handler runs so that
+        // nested calls see a clock that already includes delivery.
+        self.clock
+            .advance(link + self.model.transfer_time(req_bytes));
+        self.clock.advance(self.model.server_op_cost);
+        let result = mux.dispatch(from, &req);
+        let resp_bytes = match &result {
+            Ok(r) => r.wire_size(),
+            Err(_) => 16,
+        };
+        self.clock
+            .advance(link + self.model.transfer_time(resp_bytes));
+        self.stats
+            .bytes
+            .fetch_add((req_bytes + resp_bytes) as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock) as Arc<dyn Clock>
+    }
+
+    fn is_up(&self, addr: NodeAddr) -> bool {
+        !self.down.read().contains(&addr) && self.nodes.read().contains_key(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{RpcHandler, ServiceId};
+    use bytes::Bytes;
+
+    struct Echo;
+    impl RpcHandler for Echo {
+        fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+            Ok(RpcResponse {
+                body: Bytes::copy_from_slice(body),
+            })
+        }
+    }
+
+    fn net_with_echo(model: LatencyModel) -> Arc<SimNetwork> {
+        let net = SimNetwork::new(model);
+        for a in [1, 2] {
+            let mux = Arc::new(ServiceMux::new());
+            mux.register(ServiceId::Nfs, Arc::new(Echo));
+            net.attach(NodeAddr(a), mux);
+        }
+        net
+    }
+
+    #[test]
+    fn remote_call_echoes_and_charges_time() {
+        let net = net_with_echo(LatencyModel::default());
+        let req = RpcRequest::new(ServiceId::Nfs, &0xDEADu32);
+        let resp = net.call(NodeAddr(1), NodeAddr(2), req).unwrap();
+        assert_eq!(resp.decode::<u32>().unwrap(), 0xDEAD);
+        let t = net.clock().now();
+        // At least two hop latencies + server cost must have elapsed.
+        assert!(t.as_duration() >= Duration::from_micros(2 * 150 + 60));
+        let (calls, local, failed, bytes) = net.stats().snapshot();
+        assert_eq!((calls, local, failed), (1, 0, 0));
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn local_call_is_cheaper_than_remote() {
+        let net = net_with_echo(LatencyModel::default());
+        let req = RpcRequest::new(ServiceId::Nfs, &1u32);
+        net.call(NodeAddr(1), NodeAddr(1), req.clone()).unwrap();
+        let local_t = net.clock().now().as_duration();
+        net.virtual_clock().reset();
+        net.call(NodeAddr(1), NodeAddr(2), req).unwrap();
+        let remote_t = net.clock().now().as_duration();
+        assert!(local_t < remote_t, "{local_t:?} !< {remote_t:?}");
+    }
+
+    #[test]
+    fn failed_node_times_out() {
+        let net = net_with_echo(LatencyModel::default());
+        net.fail_node(NodeAddr(2));
+        assert!(!net.is_up(NodeAddr(2)));
+        let req = RpcRequest::new(ServiceId::Nfs, &1u32);
+        let before = net.clock().now();
+        let err = net.call(NodeAddr(1), NodeAddr(2), req.clone()).unwrap_err();
+        assert_eq!(err, RpcError::Unreachable(NodeAddr(2)));
+        assert_eq!(
+            net.clock().now().since(before),
+            LatencyModel::default().timeout
+        );
+        // Recovery restores service with state intact.
+        net.recover_node(NodeAddr(2));
+        assert!(net.is_up(NodeAddr(2)));
+        assert!(net.call(NodeAddr(1), NodeAddr(2), req).is_ok());
+    }
+
+    #[test]
+    fn unknown_address_is_unreachable() {
+        let net = net_with_echo(LatencyModel::zero());
+        let req = RpcRequest::new(ServiceId::Nfs, &1u32);
+        assert!(matches!(
+            net.call(NodeAddr(1), NodeAddr(99), req),
+            Err(RpcError::Unreachable(NodeAddr(99)))
+        ));
+    }
+
+    #[test]
+    fn bigger_payloads_cost_more_time() {
+        let net = net_with_echo(LatencyModel::default());
+        let small = RpcRequest::new(ServiceId::Nfs, &vec![0u8; 16]);
+        let big = RpcRequest::new(ServiceId::Nfs, &vec![0u8; 1 << 20]);
+        net.call(NodeAddr(1), NodeAddr(2), small).unwrap();
+        let t_small = net.clock().now().as_duration();
+        net.virtual_clock().reset();
+        net.call(NodeAddr(1), NodeAddr(2), big).unwrap();
+        let t_big = net.clock().now().as_duration();
+        assert!(t_big > t_small * 10);
+    }
+}

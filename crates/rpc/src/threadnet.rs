@@ -1,0 +1,331 @@
+//! Real-thread transport: one mailbox thread per (node, service).
+//!
+//! Used by the concurrency integration tests to exercise the same node
+//! logic as [`crate::SimNetwork`] but with genuine parallelism: each
+//! service of each node is served on a dedicated thread (as each daemon —
+//! nfsd, koshad, the overlay — runs as its own process on a real
+//! machine), callers block on a reply channel, and multiple clients drive
+//! the cluster concurrently. Delivery order between distinct callers is
+//! real scheduler order, which shakes out locking mistakes a
+//! deterministic simulation cannot.
+//!
+//! Deadlock discipline: because mailboxes are per *service*, nested calls
+//! may revisit a node as long as they target a different service — e.g.
+//! `client → koshad(A) → control(B) → nfsd(A)` is fine. What must not
+//! happen (and does not, in the Kosha protocols) is a same-service cycle
+//! such as `koshad(A) → … → koshad(A)`.
+
+use crate::clock::{Clock, WallClock};
+use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+type ReplyTx = Sender<Result<RpcResponse, RpcError>>;
+
+enum Mail {
+    Request {
+        from: NodeAddr,
+        req: RpcRequest,
+        reply: ReplyTx,
+    },
+    Shutdown,
+}
+
+struct Mailbox {
+    tx: Sender<Mail>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Mailbox {
+    fn stop(mut self) {
+        let _ = self.tx.send(Mail::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Thread-per-(node, service) transport. Nodes are attached with their
+/// [`ServiceMux`]; dedicated threads serve each registered service until
+/// the network is dropped or the node is detached.
+pub struct ThreadedNetwork {
+    clock: Arc<WallClock>,
+    nodes: RwLock<HashMap<(NodeAddr, ServiceId), Mailbox>>,
+    down: RwLock<HashSet<NodeAddr>>,
+    /// How long callers wait for a reply before declaring the node dead.
+    call_timeout: Duration,
+}
+
+impl ThreadedNetwork {
+    /// New threaded network with the given caller-side timeout.
+    #[must_use]
+    pub fn new(call_timeout: Duration) -> Arc<Self> {
+        Arc::new(ThreadedNetwork {
+            clock: WallClock::new(),
+            nodes: RwLock::new(HashMap::new()),
+            down: RwLock::new(HashSet::new()),
+            call_timeout,
+        })
+    }
+
+    /// Attaches a node, spawning one mailbox thread per registered
+    /// service (services registered after attach are not served —
+    /// register everything first, as [`ServiceMux`] users do).
+    pub fn attach(&self, addr: NodeAddr, mux: Arc<ServiceMux>) {
+        let mut old = Vec::new();
+        for service in mux.services() {
+            let Some(handler) = mux.handler(service) else {
+                continue;
+            };
+            let (tx, rx): (Sender<Mail>, Receiver<Mail>) = unbounded();
+            let handle = std::thread::Builder::new()
+                .name(format!("{addr}-{service:?}"))
+                .spawn(move || {
+                    while let Ok(mail) = rx.recv() {
+                        match mail {
+                            Mail::Request { from, req, reply } => {
+                                let resp = handler.handle(from, &req.body);
+                                // The caller may have timed out; ignore.
+                                let _ = reply.send(resp);
+                            }
+                            Mail::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn mailbox thread");
+            if let Some(prev) = self.nodes.write().insert(
+                (addr, service),
+                Mailbox {
+                    tx,
+                    handle: Some(handle),
+                },
+            ) {
+                old.push(prev);
+            }
+        }
+        self.down.write().remove(&addr);
+        for prev in old {
+            prev.stop();
+        }
+    }
+
+    /// Detaches a node, stopping all of its mailbox threads.
+    pub fn detach(&self, addr: NodeAddr) {
+        let removed: Vec<Mailbox> = {
+            let mut nodes = self.nodes.write();
+            let keys: Vec<_> = nodes.keys().filter(|(a, _)| *a == addr).copied().collect();
+            keys.into_iter()
+                .filter_map(|k| nodes.remove(&k))
+                .collect()
+        };
+        for mb in removed {
+            mb.stop();
+        }
+    }
+
+    /// Simulates a crash: the node stops answering (threads keep running,
+    /// state preserved, but calls are rejected at the transport).
+    pub fn fail_node(&self, addr: NodeAddr) {
+        self.down.write().insert(addr);
+    }
+
+    /// Revives a crashed node.
+    pub fn recover_node(&self, addr: NodeAddr) {
+        self.down.write().remove(&addr);
+    }
+}
+
+impl Drop for ThreadedNetwork {
+    fn drop(&mut self) {
+        for (_, mb) in self.nodes.write().drain() {
+            mb.stop();
+        }
+    }
+}
+
+impl Network for ThreadedNetwork {
+    fn call(
+        &self,
+        from: NodeAddr,
+        to: NodeAddr,
+        req: RpcRequest,
+    ) -> Result<RpcResponse, RpcError> {
+        if self.down.read().contains(&to) {
+            return Err(RpcError::Unreachable(to));
+        }
+        let tx = match self.nodes.read().get(&(to, req.service)) {
+            Some(mb) => mb.tx.clone(),
+            None => {
+                // Distinguish "node exists but lacks the service" from a
+                // dead node, mirroring SimNetwork semantics.
+                let node_known = self.nodes.read().keys().any(|(a, _)| *a == to);
+                return Err(if node_known {
+                    RpcError::NoService(req.service)
+                } else {
+                    RpcError::Unreachable(to)
+                });
+            }
+        };
+        let (rtx, rrx) = bounded(1);
+        if tx
+            .send(Mail::Request {
+                from,
+                req,
+                reply: rtx,
+            })
+            .is_err()
+        {
+            return Err(RpcError::Unreachable(to));
+        }
+        match rrx.recv_timeout(self.call_timeout) {
+            Ok(resp) => resp,
+            Err(_) => Err(RpcError::Unreachable(to)),
+        }
+    }
+
+    fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock) as Arc<dyn Clock>
+    }
+
+    fn is_up(&self, addr: NodeAddr) -> bool {
+        !self.down.read().contains(&addr)
+            && self.nodes.read().keys().any(|(a, _)| *a == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RpcHandler;
+    use bytes::Bytes;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counter(AtomicU64);
+    impl RpcHandler for Counter {
+        fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+            let n = self.0.fetch_add(1, Ordering::SeqCst);
+            let _ = body;
+            Ok(RpcResponse::new(&n))
+        }
+    }
+
+    fn req() -> RpcRequest {
+        RpcRequest {
+            service: ServiceId::Kosha,
+            body: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_are_all_served() {
+        let net = ThreadedNetwork::new(Duration::from_secs(5));
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Kosha, Arc::new(Counter(AtomicU64::new(0))));
+        net.attach(NodeAddr(7), mux);
+
+        let mut joins = vec![];
+        for c in 0..8u64 {
+            let net = Arc::clone(&net);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    net.call(NodeAddr(100 + c), NodeAddr(7), req()).unwrap();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let resp = net.call(NodeAddr(1), NodeAddr(7), req()).unwrap();
+        assert_eq!(resp.decode::<u64>().unwrap(), 400);
+    }
+
+    #[test]
+    fn cross_service_self_call_does_not_deadlock() {
+        // A service that, while handling a request, calls a *different*
+        // service on the same node — the koshad loopback pattern.
+        struct Outer {
+            net: RwLock<Option<Arc<ThreadedNetwork>>>,
+        }
+        impl RpcHandler for Outer {
+            fn handle(&self, _from: NodeAddr, _body: &[u8]) -> Result<RpcResponse, RpcError> {
+                let net = self.net.read().clone().expect("wired");
+                net.call(
+                    NodeAddr(1),
+                    NodeAddr(1),
+                    RpcRequest {
+                        service: ServiceId::Nfs,
+                        body: Bytes::new(),
+                    },
+                )
+            }
+        }
+        let net = ThreadedNetwork::new(Duration::from_secs(2));
+        let outer = Arc::new(Outer {
+            net: RwLock::new(None),
+        });
+        *outer.net.write() = Some(net.clone());
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::KoshaFs, outer);
+        mux.register(ServiceId::Nfs, Arc::new(Counter(AtomicU64::new(7))));
+        net.attach(NodeAddr(1), mux);
+
+        let resp = net
+            .call(
+                NodeAddr(9),
+                NodeAddr(1),
+                RpcRequest {
+                    service: ServiceId::KoshaFs,
+                    body: Bytes::new(),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp.decode::<u64>().unwrap(), 7);
+    }
+
+    #[test]
+    fn failed_node_rejects_and_recovers() {
+        let net = ThreadedNetwork::new(Duration::from_secs(1));
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Kosha, Arc::new(Counter(AtomicU64::new(0))));
+        net.attach(NodeAddr(3), mux);
+        net.fail_node(NodeAddr(3));
+        assert!(net.call(NodeAddr(1), NodeAddr(3), req()).is_err());
+        net.recover_node(NodeAddr(3));
+        assert!(net.call(NodeAddr(1), NodeAddr(3), req()).is_ok());
+    }
+
+    #[test]
+    fn detach_stops_service() {
+        let net = ThreadedNetwork::new(Duration::from_millis(200));
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Kosha, Arc::new(Counter(AtomicU64::new(0))));
+        net.attach(NodeAddr(4), mux);
+        net.detach(NodeAddr(4));
+        assert!(matches!(
+            net.call(NodeAddr(1), NodeAddr(4), req()),
+            Err(RpcError::Unreachable(NodeAddr(4)))
+        ));
+    }
+
+    #[test]
+    fn missing_service_reported_distinctly() {
+        let net = ThreadedNetwork::new(Duration::from_millis(200));
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Kosha, Arc::new(Counter(AtomicU64::new(0))));
+        net.attach(NodeAddr(5), mux);
+        assert!(matches!(
+            net.call(
+                NodeAddr(1),
+                NodeAddr(5),
+                RpcRequest {
+                    service: ServiceId::Nfs,
+                    body: Bytes::new(),
+                }
+            ),
+            Err(RpcError::NoService(ServiceId::Nfs))
+        ));
+    }
+}

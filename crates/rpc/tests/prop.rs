@@ -1,0 +1,134 @@
+//! Property tests for the wire codec and the simulated transport.
+
+use bytes::Bytes;
+use kosha_rpc::{
+    LatencyModel, Network, NodeAddr, Reader, RpcError, RpcHandler, RpcRequest, RpcResponse,
+    ServiceId, ServiceMux, SimNetwork, WireRead, Writer,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Any sequence of primitive writes reads back identically.
+    #[test]
+    fn primitive_sequences_round_trip(values in proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(|v| ("u8", v as u128)),
+            any::<u16>().prop_map(|v| ("u16", v as u128)),
+            any::<u32>().prop_map(|v| ("u32", v as u128)),
+            any::<u64>().prop_map(|v| ("u64", v as u128)),
+            any::<u128>().prop_map(|v| ("u128", v)),
+            any::<bool>().prop_map(|v| ("bool", v as u128)),
+        ],
+        0..40,
+    )) {
+        let mut w = Writer::new();
+        for (kind, v) in &values {
+            match *kind {
+                "u8" => w.u8(*v as u8),
+                "u16" => w.u16(*v as u16),
+                "u32" => w.u32(*v as u32),
+                "u64" => w.u64(*v as u64),
+                "u128" => w.u128(*v),
+                _ => w.boolean(*v != 0),
+            }
+        }
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        for (kind, v) in &values {
+            match *kind {
+                "u8" => prop_assert_eq!(r.u8().unwrap() as u128, *v),
+                "u16" => prop_assert_eq!(r.u16().unwrap() as u128, *v),
+                "u32" => prop_assert_eq!(r.u32().unwrap() as u128, *v),
+                "u64" => prop_assert_eq!(r.u64().unwrap() as u128, *v),
+                "u128" => prop_assert_eq!(r.u128().unwrap(), *v),
+                _ => prop_assert_eq!(r.boolean().unwrap(), *v != 0),
+            }
+        }
+        r.expect_end().unwrap();
+    }
+
+    /// Strings and byte blobs survive together with options and
+    /// sequences.
+    #[test]
+    fn composite_round_trip(
+        s1 in "\\PC{0,40}",
+        blob in proptest::collection::vec(any::<u8>(), 0..200),
+        opt in proptest::option::of(any::<u64>()),
+        seq in proptest::collection::vec(any::<u32>(), 0..20),
+    ) {
+        let mut w = Writer::new();
+        w.string(&s1);
+        w.bytes(&blob);
+        w.option(&opt);
+        w.seq(&seq);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.string().unwrap(), s1);
+        prop_assert_eq!(r.bytes().unwrap(), blob);
+        prop_assert_eq!(r.option::<u64>().unwrap(), opt);
+        prop_assert_eq!(r.seq::<u32>().unwrap(), seq);
+    }
+
+    /// Decoding random bytes never panics.
+    #[test]
+    fn reader_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut r = Reader::new(&bytes);
+        let _ = r.string();
+        let mut r = Reader::new(&bytes);
+        let _ = r.seq::<u64>();
+        let mut r = Reader::new(&bytes);
+        let _ = r.option::<u128>();
+        let _ = ServiceId::decode(&bytes);
+    }
+}
+
+struct Echo;
+impl RpcHandler for Echo {
+    fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+        Ok(RpcResponse {
+            body: Bytes::copy_from_slice(body),
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Transport invariant: calls to live nodes always succeed, calls to
+    /// failed/unknown nodes always fail, and recovery restores service —
+    /// for arbitrary interleavings of failures and recoveries.
+    #[test]
+    fn simnet_failure_semantics(events in proptest::collection::vec(
+        (0u64..6, any::<bool>()), // (node, fail?=true / recover?=false)
+        0..30,
+    )) {
+        let net = SimNetwork::new(LatencyModel::zero());
+        for a in 0..6u64 {
+            let mux = Arc::new(ServiceMux::new());
+            mux.register(ServiceId::Nfs, Arc::new(Echo));
+            net.attach(NodeAddr(a), mux);
+        }
+        let mut down = [false; 6];
+        for (node, fail) in events {
+            if fail {
+                net.fail_node(NodeAddr(node));
+                down[node as usize] = true;
+            } else {
+                net.recover_node(NodeAddr(node));
+                down[node as usize] = false;
+            }
+            // Probe every node after every event.
+            for a in 0..6u64 {
+                let req = RpcRequest::new(ServiceId::Nfs, &a);
+                let result = net.call(NodeAddr(0), NodeAddr(a), req);
+                if down[a as usize] {
+                    prop_assert!(matches!(result, Err(RpcError::Unreachable(_))));
+                } else {
+                    prop_assert_eq!(result.unwrap().decode::<u64>().unwrap(), a);
+                }
+                prop_assert_eq!(net.is_up(NodeAddr(a)), !down[a as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Synthetic file-system trace generator.
+//!
+//! Substitute for the departmental trace the paper collected from
+//! Purdue's central NFS server: "221K files of 130 users, for a total of
+//! 17.9 GB of data" (Section 6.2). The generator reproduces those
+//! aggregates with realistic shape: per-user home trees, skewed per-user
+//! file counts (a few users own most files), directory trees up to a
+//! configurable depth, and log-normally distributed file sizes. Output
+//! is deterministic per seed, so every experiment run is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One file of the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Absolute virtual path (`/u042/…/fNNN`).
+    pub path: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Owning user index.
+    pub uid: u32,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct TraceParams {
+    /// Number of users (paper: 130).
+    pub users: usize,
+    /// Total number of files (paper: 221 000).
+    pub files: usize,
+    /// Total bytes (paper: 17.9 GB).
+    pub total_bytes: u64,
+    /// Maximum directory depth below a user's home.
+    pub max_depth: usize,
+    /// Average files per directory.
+    pub files_per_dir: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            users: 130,
+            files: 221_000,
+            total_bytes: 17_900_000_000,
+            max_depth: 8,
+            files_per_dir: 12,
+            seed: 42,
+        }
+    }
+}
+
+impl TraceParams {
+    /// Scales file count and volume by `f` (for fast tests/benches),
+    /// keeping the per-file statistics intact.
+    #[must_use]
+    pub fn scaled(&self, f: f64) -> Self {
+        TraceParams {
+            // Users shrink more gently than files (sqrt) so scaled
+            // traces keep name/tree diversity.
+            users: ((self.users as f64 * f.sqrt()).ceil() as usize).max(2),
+            files: ((self.files as f64 * f).ceil() as usize).max(10),
+            total_bytes: (self.total_bytes as f64 * f) as u64,
+            ..self.clone()
+        }
+    }
+}
+
+/// The generated trace: a directory tree plus sized files.
+#[derive(Debug, Clone)]
+pub struct FsTrace {
+    /// Every directory path, parents before children.
+    pub dirs: Vec<String>,
+    /// Every file.
+    pub files: Vec<TraceFile>,
+}
+
+impl FsTrace {
+    /// Generates a trace for `params`.
+    #[must_use]
+    pub fn generate(params: &TraceParams) -> Self {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // Skewed per-user file counts: Zipf-ish weights.
+        let weights: Vec<f64> = (0..params.users)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(0.8))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        let mut per_user: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / wsum) * params.files as f64).round() as usize)
+            .collect();
+        // Adjust rounding drift onto the heaviest user.
+        let assigned: usize = per_user.iter().sum();
+        if assigned < params.files {
+            per_user[0] += params.files - assigned;
+        } else {
+            per_user[0] -= (assigned - params.files).min(per_user[0]);
+        }
+
+        // Log-normal sizes with sigma ~1.7 (long tail of big files);
+        // calibrate mu for the target mean, then rescale exactly.
+        let mean = params.total_bytes as f64 / params.files as f64;
+        let sigma = 1.7f64;
+        let mu = mean.ln() - sigma * sigma / 2.0;
+
+        let mut dirs: Vec<String> = Vec::new();
+        let mut files: Vec<TraceFile> = Vec::with_capacity(params.files);
+
+        for (u, &count) in per_user.iter().enumerate() {
+            let home = format!("/u{u:03}");
+            dirs.push(home.clone());
+            // Build this user's directory list: a random tree under home.
+            let ndirs = (count / params.files_per_dir).max(1);
+            let mut user_dirs: Vec<String> = vec![home.clone()];
+            for _d in 1..ndirs {
+                // Attach under a random existing dir, respecting depth.
+                let parent = loop {
+                    let cand = &user_dirs[rng.random_range(0..user_dirs.len())];
+                    if cand.matches('/').count() < params.max_depth {
+                        break cand.clone();
+                    }
+                };
+                // Mostly-unique directory names with a sprinkling of
+                // common ones (src/doc/bin), like real home directories.
+                // Uniform `dN` names would make every user's `d1` hash to
+                // one node — a collision artifact real traces don't have.
+                let name = match rng.random_range(0..24u32) {
+                    0 => "src".to_string(),
+                    1 => "doc".to_string(),
+                    2 => "bin".to_string(),
+                    _ => format!("d{:x}", rng.random::<u32>()),
+                };
+                let dir = format!("{parent}/{name}");
+                user_dirs.push(dir.clone());
+                dirs.push(dir);
+            }
+            for i in 0..count {
+                let dir = &user_dirs[rng.random_range(0..user_dirs.len())];
+                let z = sample_standard_normal(&mut rng);
+                let size = (mu + sigma * z).exp().max(1.0);
+                files.push(TraceFile {
+                    path: format!("{dir}/f{i}"),
+                    size: size as u64,
+                    uid: u as u32,
+                });
+            }
+        }
+
+        // Exact-total rescale.
+        let raw_total: u64 = files.iter().map(|f| f.size).sum();
+        if raw_total > 0 {
+            let ratio = params.total_bytes as f64 / raw_total as f64;
+            for f in &mut files {
+                f.size = ((f.size as f64 * ratio) as u64).max(1);
+            }
+        }
+        FsTrace { dirs, files }
+    }
+
+    /// Total bytes of the trace.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+}
+
+/// Standard normal via Box–Muller (rand_distr is not in the offline
+/// dependency set).
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_match_params() {
+        let p = TraceParams::default().scaled(0.01); // ~2210 files
+        let t = FsTrace::generate(&p);
+        assert_eq!(t.files.len(), p.files);
+        let total = t.total_bytes();
+        let target = p.total_bytes;
+        let err = (total as f64 - target as f64).abs() / target as f64;
+        assert!(err < 0.02, "total {total} vs target {target}");
+        // Every user appears.
+        let users: std::collections::HashSet<u32> = t.files.iter().map(|f| f.uid).collect();
+        assert_eq!(users.len(), p.users);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = TraceParams::default().scaled(0.005);
+        let a = FsTrace::generate(&p);
+        let b = FsTrace::generate(&p);
+        assert_eq!(a.files, b.files);
+        let mut p2 = p.clone();
+        p2.seed = 43;
+        let c = FsTrace::generate(&p2);
+        assert_ne!(a.files, c.files);
+    }
+
+    #[test]
+    fn sizes_are_heavy_tailed() {
+        let p = TraceParams::default().scaled(0.02);
+        let t = FsTrace::generate(&p);
+        let mut sizes: Vec<u64> = t.files.iter().map(|f| f.size).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let mean = t.total_bytes() / sizes.len() as u64;
+        // Log-normal: mean well above median.
+        assert!(
+            mean > median * 2,
+            "mean {mean} not >> median {median}; distribution not skewed"
+        );
+    }
+
+    #[test]
+    fn depth_respected_and_paths_valid() {
+        let p = TraceParams::default().scaled(0.01);
+        let t = FsTrace::generate(&p);
+        for d in &t.dirs {
+            assert!(d.matches('/').count() <= p.max_depth + 1, "{d} too deep");
+            assert!(kosha_vfs::split_path(d).is_ok());
+        }
+        for f in t.files.iter().take(500) {
+            assert!(kosha_vfs::split_path(&f.path).is_ok());
+        }
+    }
+}

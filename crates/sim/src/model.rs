@@ -1,0 +1,110 @@
+//! The analytical overhead model of Section 6.1.2.
+//!
+//! The paper derives the average per-operation overhead of Kosha over
+//! NFS as
+//!
+//! ```text
+//! D = I + (H · hc) · (N − 1)/N
+//! ```
+//!
+//! where `I` is the constant interposition cost, `H = ⌈log_{2^b} N⌉` the
+//! overlay hop count, `hc` the per-hop latency, and `(N−1)/N` the
+//! fraction of files served from remote nodes. The paper evaluates it at
+//! N = 10⁴, H ≤ 4, hc < 1 ms to argue D stays under "4 ms plus a
+//! constant factor".
+
+use std::time::Duration;
+
+/// Model inputs.
+#[derive(Debug, Clone)]
+pub struct OverheadModel {
+    /// Constant interposition cost `I`.
+    pub interposition: Duration,
+    /// Per-hop latency `hc`.
+    pub hop_latency: Duration,
+    /// Pastry digit bits `b` (hop count base is `2^b`).
+    pub digit_bits: u32,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            interposition: Duration::from_micros(350),
+            hop_latency: Duration::from_micros(500),
+            digit_bits: 4,
+        }
+    }
+}
+
+impl OverheadModel {
+    /// Expected overlay hops for an `n`-node network: `⌈log_{2^b} n⌉`,
+    /// minimum 1 for n > 1.
+    #[must_use]
+    pub fn hops(&self, n: u64) -> u32 {
+        if n <= 1 {
+            return 0;
+        }
+        let base = f64::from(1u32 << self.digit_bits);
+        (n as f64).log(base).ceil().max(1.0) as u32
+    }
+
+    /// The remote-file fraction `(N − 1)/N`.
+    #[must_use]
+    pub fn remote_fraction(&self, n: u64) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            (n - 1) as f64 / n as f64
+        }
+    }
+
+    /// The modeled average overhead `D(N)`.
+    #[must_use]
+    pub fn overhead(&self, n: u64) -> Duration {
+        let network =
+            self.hop_latency.as_secs_f64() * f64::from(self.hops(n)) * self.remote_fraction(n);
+        self.interposition + Duration::from_secs_f64(network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_counts_match_paper() {
+        let m = OverheadModel::default();
+        assert_eq!(m.hops(1), 0);
+        assert_eq!(m.hops(8), 1);
+        assert_eq!(m.hops(16), 1);
+        assert_eq!(m.hops(256), 2);
+        // Paper: "For a typical network of 10,000 nodes, the maximum
+        // value of H is 4."
+        assert!(m.hops(10_000) <= 4);
+    }
+
+    #[test]
+    fn overhead_is_bounded_at_scale() {
+        let m = OverheadModel {
+            hop_latency: Duration::from_millis(1), // "hc is under 1ms"
+            ..Default::default()
+        };
+        let d = m.overhead(10_000);
+        // "the overhead D does not exceed 4ms plus a constant factor."
+        assert!(d <= Duration::from_millis(4) + m.interposition);
+    }
+
+    #[test]
+    fn overhead_monotone_then_saturates() {
+        let m = OverheadModel::default();
+        let d1 = m.overhead(1);
+        let d8 = m.overhead(8);
+        let d16 = m.overhead(16);
+        assert!(d8 > d1);
+        assert!(d16 >= d8);
+        // Remote fraction saturates: 8→16 nodes adds only ~6.25%.
+        let grow_small = m.remote_fraction(8) - m.remote_fraction(1);
+        let grow_large = m.remote_fraction(16) - m.remote_fraction(8);
+        assert!(grow_small > 10.0 * grow_large);
+    }
+}

@@ -1,0 +1,60 @@
+//! Filesystem errors, mirroring the NFSv3 status codes they map to.
+
+use std::fmt;
+
+/// Errors returned by [`crate::Vfs`] operations.
+///
+/// Each variant corresponds to an NFSv3 `nfsstat3` the NFS layer reports;
+/// the correspondence is noted per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VfsError {
+    /// No such file or directory (`NFS3ERR_NOENT`).
+    NoEnt,
+    /// Path component is not a directory (`NFS3ERR_NOTDIR`).
+    NotDir,
+    /// Operation requires a non-directory but found one (`NFS3ERR_ISDIR`).
+    IsDir,
+    /// Name already exists (`NFS3ERR_EXIST`).
+    Exist,
+    /// Directory not empty (`NFS3ERR_NOTEMPTY`).
+    NotEmpty,
+    /// Quota exhausted: the write/create would exceed the node's
+    /// contributed capacity (`NFS3ERR_NOSPC`). Kosha reacts to this by
+    /// redirecting the directory to another node (Section 3.3).
+    NoSpc,
+    /// Handle no longer valid — e.g. the node was purged on reincarnation
+    /// (`NFS3ERR_STALE`).
+    Stale,
+    /// Invalid argument, such as renaming a directory into its own subtree
+    /// or an empty/illegal name (`NFS3ERR_INVAL`).
+    Inval,
+    /// Name exceeds the limit (`NFS3ERR_NAMETOOLONG`).
+    NameTooLong,
+    /// Operation not supported on this object type (`NFS3ERR_NOTSUPP`),
+    /// e.g. `readlink` on a regular file.
+    NotSupp,
+    /// Read/write on a symlink or other non-regular object
+    /// (`NFS3ERR_INVAL` in practice; kept distinct for diagnostics).
+    NotFile,
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VfsError::NoEnt => "no such file or directory",
+            VfsError::NotDir => "not a directory",
+            VfsError::IsDir => "is a directory",
+            VfsError::Exist => "file exists",
+            VfsError::NotEmpty => "directory not empty",
+            VfsError::NoSpc => "no space left on contributed partition",
+            VfsError::Stale => "stale file handle",
+            VfsError::Inval => "invalid argument",
+            VfsError::NameTooLong => "name too long",
+            VfsError::NotSupp => "operation not supported",
+            VfsError::NotFile => "not a regular file",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for VfsError {}

@@ -1,0 +1,71 @@
+//! Inode model: identifiers, types, and attributes.
+
+/// Inode number, unique within one node's store for its lifetime (never
+/// reused, so handles cannot alias a recycled object).
+pub type Ino = u64;
+
+/// A store-local file identity: inode number plus the store generation in
+/// force when the handle was minted. Purging the store (node reincarnation,
+/// Section 4.3) bumps the generation, making every outstanding `FileId`
+/// stale — exactly NFS's stale-handle semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId {
+    /// Inode number.
+    pub ino: Ino,
+    /// Store generation at mint time.
+    pub gen: u32,
+}
+
+/// Object type, as in NFSv3 `ftype3` (subset Kosha needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link (also used for Kosha's special links).
+    Symlink,
+}
+
+/// Object attributes, modeled on NFSv3 `fattr3`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Object type.
+    pub ftype: FileType,
+    /// Permission bits (e.g. `0o644`). Kosha preserves NFS permissions
+    /// unchanged (Section 4.1.6: "Security in Kosha is identical to NFS
+    /// since files in Kosha maintain their permissions").
+    pub mode: u32,
+    /// Owning user.
+    pub uid: u32,
+    /// Owning group.
+    pub gid: u32,
+    /// Size in bytes (directories report an entry-count-based size).
+    pub size: u64,
+    /// Link count (directories: 2 + subdirectories, as in ufs).
+    pub nlink: u32,
+    /// Last access, nanoseconds since simulation epoch.
+    pub atime: u64,
+    /// Last content modification.
+    pub mtime: u64,
+    /// Last attribute change.
+    pub ctime: u64,
+}
+
+impl Attr {
+    /// Fresh attributes for a new object of `ftype` at time `now`.
+    #[must_use]
+    pub fn new(ftype: FileType, mode: u32, uid: u32, gid: u32, now: u64) -> Self {
+        Attr {
+            ftype,
+            mode,
+            uid,
+            gid,
+            size: 0,
+            nlink: if ftype == FileType::Directory { 2 } else { 1 },
+            atime: now,
+            mtime: now,
+            ctime: now,
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests: arbitrary operation sequences preserve the store's
+//! accounting and structural invariants.
+
+use kosha_vfs::{FileType, SetAttr, Vfs, VfsError};
+use proptest::prelude::*;
+
+/// A random filesystem operation over a small namespace.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { dir: u8, name: u8 },
+    Mkdir { dir: u8, name: u8 },
+    Write { dir: u8, name: u8, offset: u16, len: u16 },
+    Truncate { dir: u8, name: u8, size: u16 },
+    Remove { dir: u8, name: u8 },
+    Rmdir { dir: u8, name: u8 },
+    Rename { sdir: u8, sname: u8, ddir: u8, dname: u8 },
+    Symlink { dir: u8, name: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Create { dir, name }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Mkdir { dir, name }),
+        (any::<u8>(), any::<u8>(), any::<u16>(), 0u16..2048)
+            .prop_map(|(dir, name, offset, len)| Op::Write { dir, name, offset, len }),
+        (any::<u8>(), any::<u8>(), any::<u16>())
+            .prop_map(|(dir, name, size)| Op::Truncate { dir, name, size }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Remove { dir, name }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Rmdir { dir, name }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(sdir, sname, ddir, dname)| Op::Rename { sdir, sname, ddir, dname }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Symlink { dir, name }),
+    ]
+}
+
+/// Resolve one of four candidate directories (root plus up to three
+/// well-known subdirectories), falling back to root.
+fn pick_dir(v: &Vfs, sel: u8) -> kosha_vfs::FileId {
+    let paths = ["/", "/d0", "/d1", "/d0/d2"];
+    let p = paths[(sel % 4) as usize];
+    v.resolve(p).map(|(id, _)| id).unwrap_or_else(|_| v.root())
+}
+
+fn name_for(sel: u8) -> String {
+    format!("n{}", sel % 6)
+}
+
+/// Recomputes used bytes by walking the tree.
+fn recount(v: &Vfs) -> u64 {
+    let mut total = 0;
+    v.walk(|_, attr| {
+        if attr.ftype == FileType::Regular {
+            total += attr.size;
+        }
+    });
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_matches_tree_after_any_ops(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut v = Vfs::new(64 * 1024);
+        // Seed well-known directories so ops have targets.
+        let _ = v.mkdir_p("/d0/d2", 0o755);
+        let _ = v.mkdir_p("/d1", 0o755);
+
+        for op in &ops {
+            // Every op may fail with a legal error; none may corrupt state.
+            let r: Result<(), VfsError> = match *op {
+                Op::Create { dir, name } => {
+                    let d = pick_dir(&v, dir);
+                    v.create(d, &name_for(name), 0o644, 0, 0).map(|_| ())
+                }
+                Op::Mkdir { dir, name } => {
+                    let d = pick_dir(&v, dir);
+                    v.mkdir(d, &name_for(name), 0o755, 0, 0).map(|_| ())
+                }
+                Op::Write { dir, name, offset, len } => {
+                    let d = pick_dir(&v, dir);
+                    match v.lookup(d, &name_for(name)) {
+                        Ok((f, _)) => {
+                            let data = vec![0xAB; len as usize];
+                            v.write(f, u64::from(offset % 4096), &data).map(|_| ())
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+                Op::Truncate { dir, name, size } => {
+                    let d = pick_dir(&v, dir);
+                    match v.lookup(d, &name_for(name)) {
+                        Ok((f, _)) => v
+                            .setattr(f, &SetAttr { size: Some(u64::from(size)), ..Default::default() })
+                            .map(|_| ()),
+                        Err(e) => Err(e),
+                    }
+                }
+                Op::Remove { dir, name } => {
+                    let d = pick_dir(&v, dir);
+                    v.remove(d, &name_for(name))
+                }
+                Op::Rmdir { dir, name } => {
+                    let d = pick_dir(&v, dir);
+                    v.rmdir(d, &name_for(name))
+                }
+                Op::Rename { sdir, sname, ddir, dname } => {
+                    let s = pick_dir(&v, sdir);
+                    let d = pick_dir(&v, ddir);
+                    v.rename(s, &name_for(sname), d, &name_for(dname))
+                }
+                Op::Symlink { dir, name } => {
+                    let d = pick_dir(&v, dir);
+                    v.symlink(d, &name_for(name), "target#1", 0o777, 0, 0).map(|_| ())
+                }
+            };
+            let _ = r; // failure is fine; corruption is not
+
+            // INVARIANTS after every operation:
+            prop_assert_eq!(v.used_bytes(), recount(&v), "quota accounting drifted");
+            prop_assert!(v.used_bytes() <= v.capacity(), "quota exceeded");
+        }
+
+        // Every reachable object's path resolves back to itself.
+        let mut paths = Vec::new();
+        v.walk(|p, _| paths.push(p.to_string()));
+        for p in paths {
+            let (id, _) = v.resolve(&p).unwrap();
+            prop_assert_eq!(v.path_of(id).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip(chunks in proptest::collection::vec((0u16..8192, proptest::collection::vec(any::<u8>(), 1..512)), 1..20)) {
+        let mut v = Vfs::new(1 << 22);
+        let root = v.root();
+        let (f, _) = v.create(root, "blob", 0o644, 0, 0).unwrap();
+        let mut model = Vec::new();
+        for (offset, data) in &chunks {
+            let off = *offset as usize;
+            if model.len() < off + data.len() {
+                model.resize(off + data.len(), 0);
+            }
+            model[off..off + data.len()].copy_from_slice(data);
+            v.write(f, off as u64, data).unwrap();
+        }
+        let (got, eof) = v.read(f, 0, model.len() as u32 + 10).unwrap();
+        prop_assert!(eof);
+        prop_assert_eq!(got, model);
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the Kosha reproduction.
+//!
+//! Re-exports the workspace crates so the repository-level examples and
+//! integration tests have one import surface. The actual system lives in
+//! the member crates:
+//!
+//! * [`kosha`] — the paper's contribution: the koshad daemon.
+//! * [`kosha_pastry`] — the Pastry DHT substrate.
+//! * [`kosha_nfs`] — the NFSv3-like protocol, server, and client.
+//! * [`kosha_vfs`] — per-node contributed storage.
+//! * [`kosha_rpc`] — transports (deterministic simulation + threads).
+//! * [`kosha_id`] — 128-bit identifier space and SHA-1.
+//! * [`kosha_sim`] — experiment testbed regenerating every table/figure.
+
+pub use kosha;
+pub use kosha_id;
+pub use kosha_nfs;
+pub use kosha_pastry;
+pub use kosha_rpc;
+pub use kosha_sim;
+pub use kosha_vfs;

@@ -1,0 +1,296 @@
+//! Failure-injection scenarios beyond single-crash failover: cascades,
+//! recovery, churn, and the data-loss boundary when failures exceed the
+//! replica count.
+
+use kosha::{KoshaConfig, KoshaMount, KoshaNode};
+use kosha_id::node_id_from_seed;
+use kosha_nfs::NfsError;
+use kosha_rpc::{Network, NodeAddr, SimNetwork};
+use std::sync::Arc;
+
+struct Rig {
+    net: Arc<SimNetwork>,
+    nodes: Vec<Arc<KoshaNode>>,
+}
+
+fn rig(n: usize, replicas: usize) -> Rig {
+    let net = SimNetwork::new_zero_latency();
+    let cfg = KoshaConfig {
+        distribution_level: 1,
+        replicas,
+        contributed_bytes: 1 << 26,
+        ..KoshaConfig::for_tests()
+    };
+    let mut nodes = Vec::new();
+    for i in 0..n {
+        let id = node_id_from_seed(&format!("fail-host-{i}"));
+        let (node, mux) = KoshaNode::build(
+            cfg.clone(),
+            id,
+            NodeAddr(i as u64),
+            net.clone() as Arc<dyn Network>,
+        );
+        net.attach(node.addr(), mux);
+        node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
+            .unwrap();
+        nodes.push(node);
+    }
+    Rig { net, nodes }
+}
+
+impl Rig {
+    fn mount(&self, i: usize) -> KoshaMount {
+        KoshaMount::new(
+            self.net.clone() as Arc<dyn Network>,
+            self.nodes[i].addr(),
+            self.nodes[i].addr(),
+        )
+        .unwrap()
+    }
+
+    fn holders_of(&self, path: &str) -> Vec<NodeAddr> {
+        let mut out = Vec::new();
+        for n in &self.nodes {
+            let mut holds = false;
+            n.with_store(|v| {
+                v.walk(|p, _| {
+                    if p.ends_with(path) {
+                        holds = true;
+                    }
+                })
+            });
+            if holds {
+                out.push(n.addr());
+            }
+        }
+        out
+    }
+}
+
+#[test]
+fn sequential_cascading_failures_with_k2() {
+    let r = rig(7, 2);
+    let gw = 0usize;
+    let m = r.mount(gw);
+    m.mkdir_p("/cascade").unwrap();
+    m.write_file("/cascade/data", b"keep me through the storm")
+        .unwrap();
+
+    // Kill up to two non-gateway holders one at a time; after each
+    // failure the file must still be readable (K=2 tolerates 2 dead
+    // copies before repair, and maintenance re-replicates in between).
+    let mut killed = 0;
+    for _round in 0..2 {
+        let holders = r.holders_of("data");
+        let victim = holders
+            .into_iter()
+            .find(|a| *a != r.nodes[gw].addr() && r.net.is_up(*a));
+        let Some(victim) = victim else { break };
+        r.net.fail_node(victim);
+        killed += 1;
+        assert_eq!(
+            m.read_file("/cascade/data").unwrap(),
+            b"keep me through the storm",
+            "lost data after {killed} failures"
+        );
+        // Background maintenance (re-replication) between failures.
+        for n in r.nodes.iter().filter(|n| r.net.is_up(n.addr())) {
+            n.maintain();
+        }
+    }
+    assert!(killed >= 1, "no failure was injected");
+}
+
+#[test]
+fn data_unavailable_when_all_copies_die_then_returns_on_recovery() {
+    let r = rig(5, 1);
+    let m = r.mount(0);
+    m.mkdir_p("/fragile").unwrap();
+    m.write_file("/fragile/one", b"single replica").unwrap();
+
+    let holders = r.holders_of("one");
+    assert!(!holders.is_empty());
+    // Kill every holder except our gateway (if the gateway holds a copy,
+    // it keeps serving — that is correct behavior, so skip the test
+    // body in that case).
+    if holders.contains(&r.nodes[0].addr()) {
+        return;
+    }
+    for h in &holders {
+        r.net.fail_node(*h);
+    }
+    match m.read_file("/fragile/one") {
+        Err(NfsError::Status(_)) | Err(NfsError::Rpc(_)) => {}
+        Ok(_) => panic!("read succeeded with every copy dead"),
+    }
+    // Recovery brings the data back (disks persist across crashes).
+    for h in &holders {
+        r.net.recover_node(*h);
+    }
+    for n in &r.nodes {
+        n.maintain();
+    }
+    assert_eq!(m.read_file("/fragile/one").unwrap(), b"single replica");
+}
+
+#[test]
+fn churn_nodes_joining_while_operating() {
+    let r = rig(3, 1);
+    let m = r.mount(0);
+    for i in 0..6 {
+        m.mkdir_p(&format!("/churn{i}")).unwrap();
+        m.write_file(&format!("/churn{i}/f"), &[i as u8; 512]).unwrap();
+    }
+    // Five newcomers join while the client keeps writing.
+    let cfg = KoshaConfig {
+        distribution_level: 1,
+        replicas: 1,
+        contributed_bytes: 1 << 26,
+        ..KoshaConfig::for_tests()
+    };
+    for j in 0..5u64 {
+        let id = node_id_from_seed(&format!("late-{j}"));
+        let (node, mux) = KoshaNode::build(
+            cfg.clone(),
+            id,
+            NodeAddr(100 + j),
+            r.net.clone() as Arc<dyn Network>,
+        );
+        r.net.attach(node.addr(), mux);
+        node.join(Some(NodeAddr(0))).unwrap();
+        // Interleaved writes during churn.
+        m.write_file(&format!("/churn{j}/during"), b"written during join")
+            .unwrap();
+    }
+    for i in 0..6 {
+        assert_eq!(
+            m.read_file(&format!("/churn{i}/f")).unwrap(),
+            vec![i as u8; 512]
+        );
+    }
+    for j in 0..5 {
+        assert_eq!(
+            m.read_file(&format!("/churn{j}/during")).unwrap(),
+            b"written during join"
+        );
+    }
+}
+
+#[test]
+fn purged_node_loses_data_but_cluster_recovers_from_replicas() {
+    let r = rig(6, 2);
+    let m = r.mount(0);
+    m.mkdir_p("/purge").unwrap();
+    m.write_file("/purge/f", b"replicated before purge").unwrap();
+
+    // Reincarnate the primary: purge its disk entirely (§4.3: "all Kosha
+    // data on a revived node is purged").
+    let primary = r
+        .nodes
+        .iter()
+        .find(|n| n.hosted_anchors().iter().any(|(p, _)| p == "/purge"))
+        .unwrap();
+    if primary.addr() == r.nodes[0].addr() {
+        return; // gateway purge would also wipe the client's own state
+    }
+    primary.purge();
+    // The next access finds the store empty, fails over to a replica
+    // holder via the overlay, and the data survives.
+    assert_eq!(
+        m.read_file("/purge/f").unwrap(),
+        b"replicated before purge"
+    );
+}
+
+#[test]
+fn reincarnation_with_a_new_identity() {
+    // §4.3: "a node can be revived with a different identifier which
+    // places it in a different location in the p2p node identifier
+    // space, [so] all Kosha data on a revived node is purged."
+    let r = rig(6, 2);
+    let m = r.mount(0);
+    m.mkdir_p("/perm").unwrap();
+    m.write_file("/perm/data", b"must survive reincarnation").unwrap();
+
+    // Pick a non-gateway machine and reincarnate it: crash, purge its
+    // disk, replace its daemon with one under a brand-new identifier.
+    let victim_idx = 1usize;
+    let victim_addr = r.nodes[victim_idx].addr();
+    r.net.fail_node(victim_addr);
+    // The survivors notice and repair.
+    for n in r.nodes.iter().filter(|n| n.addr() != victim_addr) {
+        n.maintain();
+    }
+    assert_eq!(
+        m.read_file("/perm/data").unwrap(),
+        b"must survive reincarnation"
+    );
+
+    // Reincarnate: new node, same address, different id, empty disk.
+    let cfg = KoshaConfig {
+        distribution_level: 1,
+        replicas: 2,
+        contributed_bytes: 1 << 26,
+        ..KoshaConfig::for_tests()
+    };
+    let new_id = node_id_from_seed("reincarnated-host");
+    assert_ne!(new_id, r.nodes[victim_idx].id());
+    let (reborn, mux) = KoshaNode::build(
+        cfg,
+        new_id,
+        victim_addr,
+        r.net.clone() as Arc<dyn Network>,
+    );
+    r.net.attach(victim_addr, mux); // replaces the old registration
+    reborn.join(Some(r.nodes[0].addr())).unwrap();
+    for n in r.nodes.iter().filter(|n| n.addr() != victim_addr) {
+        n.maintain();
+    }
+
+    // Data still readable; the reborn node participates (may have
+    // received migrated anchors for its new key-space position).
+    assert_eq!(
+        m.read_file("/perm/data").unwrap(),
+        b"must survive reincarnation"
+    );
+    // New writes work and can land anywhere, including the reborn node.
+    m.mkdir_p("/afterlife").unwrap();
+    m.write_file("/afterlife/f", b"fresh").unwrap();
+    assert_eq!(m.read_file("/afterlife/f").unwrap(), b"fresh");
+}
+
+#[test]
+fn writes_during_failover_reach_the_new_primary_and_replicas() {
+    let r = rig(6, 2);
+    let m = r.mount(0);
+    m.mkdir_p("/wf").unwrap();
+    m.write_file("/wf/doc", b"v1").unwrap();
+    let primary = r
+        .nodes
+        .iter()
+        .find(|n| n.hosted_anchors().iter().any(|(p, _)| p == "/wf"))
+        .unwrap();
+    if primary.addr() == r.nodes[0].addr() {
+        return;
+    }
+    r.net.fail_node(primary.addr());
+    m.write_file("/wf/doc", b"v2-after-failover").unwrap();
+
+    // The promoted primary must hold v2 and have re-replicated it.
+    let new_primary = r
+        .nodes
+        .iter()
+        .filter(|n| n.addr() != primary.addr())
+        .find(|n| n.hosted_anchors().iter().any(|(p, _)| p == "/wf"))
+        .expect("promotion happened");
+    let mut found = false;
+    new_primary.with_store(|v| {
+        v.walk(|p, attr| {
+            if p.starts_with("/kosha_store") && p.ends_with("doc") {
+                found = attr.size == b"v2-after-failover".len() as u64;
+            }
+        })
+    });
+    assert!(found, "new primary lacks the post-failover write");
+    assert_eq!(m.read_file("/wf/doc").unwrap(), b"v2-after-failover");
+}
