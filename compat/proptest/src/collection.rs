@@ -1,0 +1,88 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with sizes drawn from a half-open range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates `Vec<S::Value>` with `size.start..size.end` elements.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.range_usize(self.size.start, self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet`s with sizes drawn from a half-open range.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates `HashSet<S::Value>` with `size.start..size.end` distinct
+/// elements (best-effort: gives up growing after repeated duplicates, so
+/// tiny value domains may yield fewer than `size.start` elements).
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.range_usize(self.size.start, self.size.end);
+        let mut set = HashSet::with_capacity(target);
+        let mut misses = 0;
+        while set.len() < target && misses < 100 {
+            if !set.insert(self.element.generate(rng)) {
+                misses += 1;
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let s = vec(any::<u8>(), 2..5);
+        let mut rng = TestRng::deterministic("v");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_is_distinct() {
+        let s = hash_set("[a-z]{1,8}", 3..10);
+        let mut rng = TestRng::deterministic("h");
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(set.len() < 10);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` about a quarter of the time, otherwise
+/// `Some` of the inner strategy's value (matching upstream's Some-bias).
+pub struct OptionStrategy<S>(S);
+
+/// Wraps `inner` values in `Option`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Common imports for property tests, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};

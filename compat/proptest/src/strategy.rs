@@ -1,0 +1,287 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`crate::any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward edge values: upstream's integer strategies
+                // weight boundaries, and codec tests rely on hitting them.
+                match rng.below(8) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 => 0,
+            1 => u128::MAX,
+            2 => 1,
+            _ => (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated names filesystem-friendly.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}
+
+/// Strategy for [`crate::any`]; generates via [`Arbitrary`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (used by
+/// [`crate::prop_oneof!`]; a fn rather than an `as` cast so the value
+/// type is inferred from the arm).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Uniform choice between boxed strategies (see [`crate::prop_oneof!`]).
+pub struct Union<V>(Vec<Box<dyn Strategy<Value = V>>>);
+
+impl<V> Union<V> {
+    /// New union over `arms` (must be non-empty).
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let wide = (u128::from(rng.next_u64()) * span) >> 64;
+                self.start + wide as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                let span = (e as u128) - (s as u128) + 1;
+                let wide = (u128::from(rng.next_u64()) * span) >> 64;
+                s + wide as $t
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize);
+
+/// String strategies from a `[class]{m,n}` regex (the only shape the
+/// workspace uses). A bare class without a repetition generates one char.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = rng.range_usize(min, max + 1);
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[a-zA-Z0-9_.-]{1,32}`-style patterns into (alphabet, min, max).
+/// Also accepts `\PC` (any non-control char), approximated by printable
+/// ASCII plus a few multibyte chars so UTF-8 handling gets exercised.
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    if let Some(tail) = pat.strip_prefix("\\PC") {
+        let mut chars: Vec<char> = (b' '..=b'~').map(char::from).collect();
+        chars.extend(['é', 'λ', '中']);
+        let (min, max) = parse_counts(tail)?;
+        return Some((chars, min, max));
+    }
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let (min, max) = parse_counts(&rest[close + 1..])?;
+    Some((chars, min, max))
+}
+
+/// Parses a trailing `{m,n}` / `{n}` repetition (empty → exactly one).
+fn parse_counts(tail: &str) -> Option<(usize, usize)> {
+    if tail.is_empty() {
+        return Some((1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((min, max))
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A / 0);
+impl_strategy_tuple!(A / 0, B / 1);
+impl_strategy_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, min, max) = parse_class_pattern("[a-c#0-1]{2,5}").unwrap();
+        assert_eq!(chars, vec!['a', 'b', 'c', '#', '0', '1']);
+        assert_eq!((min, max), (2, 5));
+        let (chars, _, _) = parse_class_pattern("[a-zA-Z0-9_.-]{1,32}").unwrap();
+        assert!(chars.contains(&'_') && chars.contains(&'.') && chars.contains(&'-'));
+        assert!(parse_class_pattern("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_alphabet() {
+        let mut rng = TestRng::deterministic("t");
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn union_and_map_generate() {
+        let mut rng = TestRng::deterministic("u");
+        let u = Union::new(vec![
+            Box::new(Just(1u8)) as Box<dyn Strategy<Value = u8>>,
+            Box::new(Just(2u8)),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..50 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+        let doubled = (0u8..4).prop_map(|v| v * 2);
+        for _ in 0..20 {
+            assert!(doubled.generate(&mut rng) % 2 == 0);
+        }
+    }
+}

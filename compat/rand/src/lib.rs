@@ -1,0 +1,202 @@
+//! Vendored stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset it uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `random::<T>()`
+//! and `random_range(range)`. The generator is SplitMix64 — statistically
+//! solid for simulation workloads, deterministic per seed, but NOT the
+//! upstream ChaCha stream (seeded sequences differ from real `rand`) and
+//! NOT cryptographically secure.
+
+/// Sampling a value of a type from the "standard" distribution
+/// (full-range integers, `[0, 1)` floats, fair bools).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of `rand`'s
+/// `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Multiply-shift reduction: bias < 2^-64, irrelevant here.
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                self.start + v as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range in random_range");
+                let span = (e as u128) - (s as u128) + 1;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                s + v as $t
+            }
+        }
+    )*};
+}
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// User-facing random-value methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let u = r.random_range(0..5usize);
+            assert!(u < 5);
+            let f = r.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn floats_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

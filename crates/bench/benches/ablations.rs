@@ -83,45 +83,49 @@ fn bench_leafset(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_leafset");
     g.sample_size(10);
     for half in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("route-after-failures", half), &half, |b, &half| {
-            b.iter(|| {
-                let net = SimNetwork::new_zero_latency();
-                let mut nodes = Vec::new();
-                for i in 0..20u64 {
-                    let node = PastryNode::new(
-                        PastryConfig {
-                            leaf_half: half,
-                            max_hops: 64,
-                            proximity_aware: false,
-                        },
-                        node_id_from_seed(&format!("ab-{i}")),
-                        NodeAddr(i),
-                        net.clone() as Arc<dyn Network>,
-                    );
-                    let mux = Arc::new(ServiceMux::new());
-                    mux.register(ServiceId::Pastry, node.clone());
-                    net.attach(node.addr(), mux);
-                    node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
-                        .unwrap();
-                    nodes.push(node);
-                }
-                for d in [3u64, 7, 11, 15] {
-                    net.fail_node(NodeAddr(d));
-                }
-                for n in nodes.iter().filter(|n| n.addr().0 % 4 != 3) {
-                    n.maintain();
-                }
-                for k in 0..30u32 {
-                    let key = dir_key(&format!("key{k}"));
-                    black_box(nodes[0].route(key).unwrap());
-                }
-                // Break the net→mux→node→net reference cycle so each
-                // iteration's ring is actually freed.
-                for n in &nodes {
-                    net.detach(n.addr());
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("route-after-failures", half),
+            &half,
+            |b, &half| {
+                b.iter(|| {
+                    let net = SimNetwork::new_zero_latency();
+                    let mut nodes = Vec::new();
+                    for i in 0..20u64 {
+                        let node = PastryNode::new(
+                            PastryConfig {
+                                leaf_half: half,
+                                max_hops: 64,
+                                proximity_aware: false,
+                            },
+                            node_id_from_seed(&format!("ab-{i}")),
+                            NodeAddr(i),
+                            net.clone() as Arc<dyn Network>,
+                        );
+                        let mux = Arc::new(ServiceMux::new());
+                        mux.register(ServiceId::Pastry, node.clone());
+                        net.attach(node.addr(), mux);
+                        node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
+                            .unwrap();
+                        nodes.push(node);
+                    }
+                    for d in [3u64, 7, 11, 15] {
+                        net.fail_node(NodeAddr(d));
+                    }
+                    for n in nodes.iter().filter(|n| n.addr().0 % 4 != 3) {
+                        n.maintain();
+                    }
+                    for k in 0..30u32 {
+                        let key = dir_key(&format!("key{k}"));
+                        black_box(nodes[0].route(key).unwrap());
+                    }
+                    // Break the net→mux→node→net reference cycle so each
+                    // iteration's ring is actually freed.
+                    for n in &nodes {
+                        net.detach(n.addr());
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -132,7 +136,11 @@ fn bench_read_from_replicas(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_replica_reads");
     g.sample_size(10);
     for enabled in [false, true] {
-        let label = if enabled { "replica-rr" } else { "primary-only" };
+        let label = if enabled {
+            "replica-rr"
+        } else {
+            "primary-only"
+        };
         g.bench_function(label, |b| {
             let mut cfg = KoshaConfig::for_tests();
             cfg.replicas = 2;

@@ -14,18 +14,22 @@ fn bench_redirection(c: &mut Criterion) {
     let total = trace.total_bytes();
     let mut g = c.benchmark_group("redirection");
     for attempts in [0usize, 1, 4, 15] {
-        g.bench_with_input(BenchmarkId::new("attempts", attempts), &attempts, |b, &a| {
-            b.iter(|| {
-                let mut p = PlacementParams::fig6(a, 1);
-                let scale = (total * 4) as f64 / 0.9 / 60_000_000_000.0;
-                for cap in &mut p.capacities {
-                    *cap = ((*cap as f64) * scale) as u64;
-                }
-                let mut sim = PlacementSim::new(p);
-                sim.insert_trace(&trace);
-                black_box(sim.sample())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("attempts", attempts),
+            &attempts,
+            |b, &a| {
+                b.iter(|| {
+                    let mut p = PlacementParams::fig6(a, 1);
+                    let scale = (total * 4) as f64 / 0.9 / 60_000_000_000.0;
+                    for cap in &mut p.capacities {
+                        *cap = ((*cap as f64) * scale) as u64;
+                    }
+                    let mut sim = PlacementSim::new(p);
+                    sim.insert_trace(&trace);
+                    black_box(sim.sample())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -44,7 +44,9 @@ fn bench_wire(c: &mut Criterion) {
             })
             .collect(),
     };
-    g.bench_function("encode-readdir-64", |b| b.iter(|| black_box(reply.encode())));
+    g.bench_function("encode-readdir-64", |b| {
+        b.iter(|| black_box(reply.encode()))
+    });
     g.finish();
 }
 
@@ -88,18 +90,14 @@ fn bench_routing(c: &mut Criterion) {
                 .unwrap();
             nodes.push(node);
         }
-        c.bench_with_input(
-            BenchmarkId::new("pastry_route", n),
-            &nodes,
-            |b, nodes| {
-                let mut k = 0u32;
-                b.iter(|| {
-                    k = k.wrapping_add(1);
-                    let key = dir_key(&format!("key{k}"));
-                    black_box(nodes[0].route(key).unwrap())
-                })
-            },
-        );
+        c.bench_with_input(BenchmarkId::new("pastry_route", n), &nodes, |b, nodes| {
+            let mut k = 0u32;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                let key = dir_key(&format!("key{k}"));
+                black_box(nodes[0].route(key).unwrap())
+            })
+        });
     }
 }
 

@@ -669,8 +669,12 @@ mod tests {
                     ..Default::default()
                 }),
             },
-            KoshaRequest::Remove { path: "/a/f".into() },
-            KoshaRequest::Rmdir { path: "/a/d".into() },
+            KoshaRequest::Remove {
+                path: "/a/f".into(),
+            },
+            KoshaRequest::Rmdir {
+                path: "/a/d".into(),
+            },
             KoshaRequest::RmdirAnchor { path: "/a".into() },
             KoshaRequest::RemoveLink { path: "/a".into() },
             KoshaRequest::RenameLocal {
@@ -720,10 +724,7 @@ mod tests {
                 used: 3,
                 free: 7,
             })),
-            KoshaReplyFrame(Ok(KoshaReply::Anchors(vec![(
-                "/a".into(),
-                "a#1".into(),
-            )]))),
+            KoshaReplyFrame(Ok(KoshaReply::Anchors(vec![("/a".into(), "a#1".into())]))),
             KoshaReplyFrame(Ok(KoshaReply::Nodes(vec![
                 kosha_rpc::NodeAddr(3),
                 kosha_rpc::NodeAddr(9),

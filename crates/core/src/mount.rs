@@ -243,7 +243,8 @@ impl KoshaMount {
         let mut off = 0usize;
         while off < data.len() {
             let end = (off + self.chunk as usize).min(data.len());
-            self.nfs.write(self.koshad, fh, off as u64, &data[off..end])?;
+            self.nfs
+                .write(self.koshad, fh, off as u64, &data[off..end])?;
             off = end;
         }
         Ok(fh)

@@ -5,6 +5,7 @@ use crate::handles::{HandleTable, Location};
 use crate::stats::{KoshaStats, StatsSnapshot};
 use kosha_id::Id;
 use kosha_nfs::{DiskModel, NfsClient, NfsServer};
+use kosha_obs::Obs;
 use kosha_pastry::{NodeInfo, OverlayError, OverlayObserver, PastryConfig, PastryNode};
 use kosha_rpc::{Network, NodeAddr, ServiceId, ServiceMux};
 use kosha_vfs::Vfs;
@@ -46,8 +47,12 @@ pub struct KoshaNode {
     /// future-work optimization, enabled by
     /// [`KoshaConfig::read_from_replicas`]).
     pub(crate) read_rr: std::sync::atomic::AtomicU64,
-    /// Operational counters.
+    /// Operational counters (handles into `obs`'s registry).
     pub(crate) stats: KoshaStats,
+    /// Per-node observability domain, shared by this koshad's overlay
+    /// endpoint, NFS server/client, and interposition layer so their
+    /// metrics and journal events correlate.
+    pub(crate) obs: Arc<Obs>,
 }
 
 /// Handler wrapper for the Kosha control service.
@@ -82,18 +87,20 @@ impl KoshaNode {
         addr: NodeAddr,
         net: Arc<dyn Network>,
     ) -> (Arc<Self>, Arc<ServiceMux>) {
+        let obs = Obs::new();
         let mut vfs = Vfs::new(cfg.contributed_bytes);
         vfs.mkdir_p("/kosha_store", 0o755).expect("store area");
         vfs.mkdir_p("/kosha_replica", 0o700).expect("replica area");
-        let store = NfsServer::new(
+        let store = NfsServer::new_with_obs(
             vfs,
             net.clock(),
             DiskModel {
                 bandwidth_bps: cfg.disk_bandwidth_bps,
                 meta_op_cost: cfg.disk_meta_op,
             },
+            &obs,
         );
-        let pastry = PastryNode::new(
+        let pastry = PastryNode::new_with_obs(
             PastryConfig {
                 leaf_half: cfg.leaf_half,
                 max_hops: 64,
@@ -102,13 +109,15 @@ impl KoshaNode {
             id,
             addr,
             Arc::clone(&net),
+            Arc::clone(&obs),
         );
         let node = Arc::new(KoshaNode {
             info: pastry.info(),
-            nfs: NfsClient::new(Arc::clone(&net), addr),
+            nfs: NfsClient::new(Arc::clone(&net), addr).observed(&obs),
             salt_rng: Mutex::new(StdRng::seed_from_u64(id.0 as u64)),
             read_rr: std::sync::atomic::AtomicU64::new(0),
-            stats: KoshaStats::default(),
+            stats: KoshaStats::new(&obs),
+            obs,
             cfg,
             net,
             pastry: Arc::clone(&pastry),
@@ -125,7 +134,10 @@ impl KoshaNode {
         let mux = Arc::new(ServiceMux::new());
         mux.register(ServiceId::Pastry, pastry);
         mux.register(ServiceId::Nfs, Arc::clone(&node.store) as _);
-        mux.register(ServiceId::Kosha, Arc::new(ControlService(Arc::clone(&node))));
+        mux.register(
+            ServiceId::Kosha,
+            Arc::new(ControlService(Arc::clone(&node))),
+        );
         mux.register(ServiceId::KoshaFs, Arc::new(VirtualFs(Arc::clone(&node))));
         (node, mux)
     }
@@ -178,6 +190,23 @@ impl KoshaNode {
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// This node's observability domain: the metric registry behind
+    /// [`KoshaNode::stats`] plus the event journal recording failovers,
+    /// promotions, migrations, and redirections. Shared with the node's
+    /// overlay endpoint and NFS components.
+    #[must_use]
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Journals a node-scoped event stamped on the transport clock.
+    pub(crate) fn journal(&self, kind: &'static str, detail: String) {
+        let op = self.obs.next_op_id();
+        self.obs
+            .journal
+            .record(self.net.clock().now().0, self.info.addr.0, kind, op, detail);
     }
 
     /// Anchors hosted on this node as primary: `(path, routing name)`.

@@ -84,8 +84,7 @@ impl KoshaNode {
         validate_name(name).map_err(|e| NfsError::Status(e.into()))?;
         let dpath = self.vh_path(dir)?;
         let vpath = join_path(&dpath, name);
-        let (loc, mut attr) =
-            self.with_path_retry(&vpath, |s| s.resolve_object(&vpath))?;
+        let (loc, mut attr) = self.with_path_retry(&vpath, |s| s.resolve_object(&vpath))?;
         if attr.ftype == FileType::Symlink && is_special_link_mode(attr.mode) {
             attr.ftype = FileType::Directory;
         }
@@ -177,7 +176,7 @@ impl KoshaNode {
             return None;
         }
         let out = self.nfs.read(addr, rfh, offset, count).ok()?;
-        crate::stats::KoshaStats::bump(&self.stats.replica_reads);
+        self.stats.replica_reads.inc();
         Some(out)
     }
 
@@ -343,7 +342,11 @@ impl KoshaNode {
             let salt = if attempt == 0 {
                 None
             } else {
-                crate::stats::KoshaStats::bump(&self.stats.redirections);
+                self.stats.redirections.inc();
+                self.journal(
+                    "redirection",
+                    format!("placement attempt {attempt} for {name:?} (previous node full)"),
+                );
                 Some(self.salt_rng.lock().random_range(0..1_000_000u64))
             };
             let routing = salted_name(name, salt);
@@ -748,7 +751,7 @@ impl RpcHandler for VirtualFs {
         // Fixed interposition cost of the user-level loopback server
         // (the `I` term of the Section 6.1.2 overhead model).
         k.net.clock().advance(k.cfg.koshad_op_cost);
-        crate::stats::KoshaStats::bump(&k.stats.fs_ops);
+        k.stats.fs_ops.inc();
         let result: Result<NfsReply, NfsStatus> = (|| {
             Ok(match req {
                 NfsRequest::Null => NfsReply::Void,

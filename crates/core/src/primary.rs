@@ -5,7 +5,9 @@
 
 use crate::control::{KoshaReply, KoshaReplyFrame, KoshaRequest, MigrateItem, MigrateKind};
 use crate::node::{ControlService, KoshaNode};
-use crate::paths::{anchor_slot, is_internal_name, slot_local_path, Area, ANCHOR_META, MIGRATION_FLAG};
+use crate::paths::{
+    anchor_slot, is_internal_name, slot_local_path, Area, ANCHOR_META, MIGRATION_FLAG,
+};
 use kosha_nfs::{Fh, NfsReply, NfsRequest, NfsResult, NfsStatus};
 use kosha_pastry::NodeInfo;
 use kosha_rpc::{NodeAddr, RpcError, RpcHandler, RpcResponse, WireRead};
@@ -141,8 +143,17 @@ impl KoshaNode {
         }
     }
 
-    fn mirror_file_write(&self, addr: NodeAddr, anchor: &str, vpath: &str, offset: u64, data: &[u8]) -> NfsResult<()> {
-        let (pp, name) = parent_and_name(vpath).ok_or(NfsStatus::Inval).map_err(kosha_nfs::NfsError::Status)?;
+    fn mirror_file_write(
+        &self,
+        addr: NodeAddr,
+        anchor: &str,
+        vpath: &str,
+        offset: u64,
+        data: &[u8],
+    ) -> NfsResult<()> {
+        let (pp, name) = parent_and_name(vpath)
+            .ok_or(NfsStatus::Inval)
+            .map_err(kosha_nfs::NfsError::Status)?;
         let dir = self.replica_dir(addr, anchor, pp)?;
         let fh = match self.nfs.lookup(addr, dir, name) {
             Ok((fh, _)) => fh,
@@ -179,9 +190,14 @@ impl KoshaNode {
 
     fn push_replica(&self, addr: NodeAddr, anchor: &str, items: &[MigrateItem]) -> NfsResult<()> {
         let root = self.nfs.mount(addr)?;
-        let rarea = self
-            .nfs
-            .mkdir_path(addr, root, &format!("/{}", Area::Replica.dir_name()), 0o700, 0, 0)?;
+        let rarea = self.nfs.mkdir_path(
+            addr,
+            root,
+            &format!("/{}", Area::Replica.dir_name()),
+            0o700,
+            0,
+            0,
+        )?;
         let slot = anchor_slot(anchor);
         // Fresh copy: drop any stale replica first.
         let _ = self.nfs.remove_tree(addr, rarea, &slot);
@@ -202,11 +218,15 @@ impl KoshaNode {
             };
             match &item.kind {
                 MigrateKind::Dir => {
-                    let (fh, _) = self.nfs.mkdir(addr, pfh, name, item.mode, item.uid, item.gid)?;
+                    let (fh, _) = self
+                        .nfs
+                        .mkdir(addr, pfh, name, item.mode, item.uid, item.gid)?;
                     dirs.insert(item.rel_path.clone(), fh);
                 }
                 MigrateKind::Bytes(data) => {
-                    let (fh, _) = self.nfs.create(addr, pfh, name, item.mode, item.uid, item.gid)?;
+                    let (fh, _) = self
+                        .nfs
+                        .create(addr, pfh, name, item.mode, item.uid, item.gid)?;
                     let chunk = self.cfg.io_chunk as usize;
                     let mut off = 0usize;
                     while off < data.len() {
@@ -226,7 +246,7 @@ impl KoshaNode {
             }
         }
         self.nfs.remove(addr, aroot, MIGRATION_FLAG)?;
-        crate::stats::KoshaStats::bump(&self.stats.replica_pushes);
+        self.stats.replica_pushes.inc();
         Ok(())
     }
 
@@ -258,7 +278,11 @@ impl KoshaNode {
             .read_anchor_meta(anchor)
             .unwrap_or_else(|| default_routing(anchor));
         self.anchors.lock().insert(anchor.to_string(), routing);
-        crate::stats::KoshaStats::bump(&self.stats.promotions);
+        self.stats.promotions.inc();
+        self.journal(
+            "promotion",
+            format!("replica of {anchor:?} promoted to primary"),
+        );
         self.ensure_replicas(anchor);
         Ok(())
     }
@@ -274,10 +298,7 @@ impl KoshaNode {
             let Ok(root) = self.nfs.mount(m.addr) else {
                 continue;
             };
-            let Ok((rarea, _)) = self
-                .nfs
-                .lookup(m.addr, root, Area::Replica.dir_name())
-            else {
+            let Ok((rarea, _)) = self.nfs.lookup(m.addr, root, Area::Replica.dir_name()) else {
                 continue;
             };
             let Ok((src, _)) = self.nfs.lookup(m.addr, rarea, &slot) else {
@@ -316,7 +337,11 @@ impl KoshaNode {
                 .read_anchor_meta(anchor)
                 .unwrap_or_else(|| routing.to_string());
             self.anchors.lock().insert(anchor.to_string(), routing);
-            crate::stats::KoshaStats::bump(&self.stats.replica_pulls);
+            self.stats.replica_pulls.inc();
+            self.journal(
+                "replica_pull",
+                format!("pulled {anchor:?} from a neighbor replica"),
+            );
             self.ensure_replicas(anchor);
             return true;
         }
@@ -429,7 +454,11 @@ impl KoshaNode {
             },
         )?;
         self.demote_anchor(anchor);
-        crate::stats::KoshaStats::bump(&self.stats.migrations_out);
+        self.stats.migrations_out.inc();
+        self.journal(
+            "migration_out",
+            format!("anchor {anchor:?} handed to new owner"),
+        );
         Ok(())
     }
 
@@ -931,7 +960,11 @@ impl KoshaNode {
             KoshaRequest::CommitTransfer { path, routing_name } => {
                 self.write_anchor_meta(&path, &routing_name)?;
                 self.anchors.lock().insert(path.clone(), routing_name);
-                crate::stats::KoshaStats::bump(&self.stats.migrations_in);
+                self.stats.migrations_in.inc();
+                self.journal(
+                    "migration_in",
+                    format!("anchor {path:?} received from previous owner"),
+                );
                 self.ensure_replicas(&path);
                 Ok(KoshaReply::Done)
             }

@@ -60,7 +60,11 @@ impl KoshaNode {
     /// every cached mapping through the dead node (§4.4: "Kosha detects
     /// an RPC error and removes the mapping for the virtual handle").
     pub(crate) fn fail_over(&self, addr: NodeAddr) {
-        crate::stats::KoshaStats::bump(&self.stats.failovers);
+        self.stats.failovers.inc();
+        self.journal(
+            "failover",
+            format!("{addr} unreachable; rebinding cached locations"),
+        );
         self.pastry.note_failed(addr);
         let mut c = self.client.lock();
         c.root_cache.remove(&addr);
@@ -214,8 +218,7 @@ impl KoshaNode {
                 fh,
             }
         } else {
-            let (ppath, name) =
-                parent_and_name(vpath).ok_or(NfsError::Status(NfsStatus::Inval))?;
+            let (ppath, name) = parent_and_name(vpath).ok_or(NfsError::Status(NfsStatus::Inval))?;
             let name = name.to_string();
             let parent = self.resolve_dir_budget(ppath, budget)?;
             let (efh, attr) = self.nfs.lookup(parent.addr, parent.fh, &name)?;

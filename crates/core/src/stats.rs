@@ -2,39 +2,50 @@
 //!
 //! The paper's prototype was evaluated by external measurement only;
 //! production operators need visibility into what the daemon is doing.
-//! These counters are updated by the client-side interposition layer and
-//! the primary-side replica manager, and are exposed through
-//! [`crate::KoshaNode::stats`] (tests also use them to assert that a
-//! scenario exercised the intended mechanism, e.g. that a failover
-//! actually promoted a replica rather than finding the data by luck).
+//! Each counter is a handle into the node's [`kosha_obs::Registry`]
+//! (named `kosha_*_total`), so the same numbers appear in the node's
+//! Prometheus-style exposition and in [`crate::KoshaNode::stats`]
+//! snapshots. They are updated by the client-side interposition layer
+//! and the primary-side replica manager; tests also use them to assert
+//! that a scenario exercised the intended mechanism, e.g. that a
+//! failover actually promoted a replica rather than finding the data by
+//! luck.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use kosha_obs::{Counter, Obs};
+use std::sync::Arc;
 
-/// Monotonic counters describing a node's Kosha activity.
-#[derive(Debug, Default)]
+/// Monotonic counters describing a node's Kosha activity. Handles into
+/// the owning node's metric registry; bump with `stats.failovers.inc()`.
+#[derive(Debug)]
 pub struct KoshaStats {
     /// Virtual-filesystem operations served by this koshad to local
-    /// applications.
-    pub fs_ops: AtomicU64,
+    /// applications (`kosha_fs_ops_total`).
+    pub fs_ops: Arc<Counter>,
     /// Failovers performed: a node was declared dead and cached
-    /// locations were rebound (§4.4).
-    pub failovers: AtomicU64,
-    /// Replica-to-primary promotions performed on this node (§4.4).
-    pub promotions: AtomicU64,
-    /// Anchors migrated *away* to a new owner (§4.3.1).
-    pub migrations_out: AtomicU64,
-    /// Anchors received from a previous owner (§4.3.1).
-    pub migrations_in: AtomicU64,
-    /// Full replica pushes completed to neighbor nodes (§4.2).
-    pub replica_pushes: AtomicU64,
+    /// locations were rebound (§4.4; `kosha_failovers_total`).
+    pub failovers: Arc<Counter>,
+    /// Replica-to-primary promotions performed on this node (§4.4;
+    /// `kosha_promotions_total`).
+    pub promotions: Arc<Counter>,
+    /// Anchors migrated *away* to a new owner (§4.3.1;
+    /// `kosha_migrations_out_total`).
+    pub migrations_out: Arc<Counter>,
+    /// Anchors received from a previous owner (§4.3.1;
+    /// `kosha_migrations_in_total`).
+    pub migrations_in: Arc<Counter>,
+    /// Full replica pushes completed to neighbor nodes (§4.2;
+    /// `kosha_replica_pushes_total`).
+    pub replica_pushes: Arc<Counter>,
     /// Anchors pulled from a neighbor's replica area because this node
-    /// became owner without holding a copy.
-    pub replica_pulls: AtomicU64,
-    /// Directory-placement redirections caused by full nodes (§3.3).
-    pub redirections: AtomicU64,
+    /// became owner without holding a copy
+    /// (`kosha_replica_pulls_total`).
+    pub replica_pulls: Arc<Counter>,
+    /// Directory-placement redirections caused by full nodes (§3.3;
+    /// `kosha_redirections_total`).
+    pub redirections: Arc<Counter>,
     /// READs served from a replica instead of the primary (§4.2's
-    /// read-spreading optimization).
-    pub replica_reads: AtomicU64,
+    /// read-spreading optimization; `kosha_replica_reads_total`).
+    pub replica_reads: Arc<Counter>,
 }
 
 /// A plain-value snapshot of [`KoshaStats`].
@@ -61,24 +72,36 @@ pub struct StatsSnapshot {
 }
 
 impl KoshaStats {
-    /// Atomically increments one counter.
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Resolves (or creates) every counter in `obs`'s registry.
+    #[must_use]
+    pub fn new(obs: &Obs) -> Self {
+        let c = |name: &str| obs.registry.counter(name);
+        KoshaStats {
+            fs_ops: c("kosha_fs_ops_total"),
+            failovers: c("kosha_failovers_total"),
+            promotions: c("kosha_promotions_total"),
+            migrations_out: c("kosha_migrations_out_total"),
+            migrations_in: c("kosha_migrations_in_total"),
+            replica_pushes: c("kosha_replica_pushes_total"),
+            replica_pulls: c("kosha_replica_pulls_total"),
+            redirections: c("kosha_redirections_total"),
+            replica_reads: c("kosha_replica_reads_total"),
+        }
     }
 
     /// Takes a point-in-time snapshot.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            fs_ops: self.fs_ops.load(Ordering::Relaxed),
-            failovers: self.failovers.load(Ordering::Relaxed),
-            promotions: self.promotions.load(Ordering::Relaxed),
-            migrations_out: self.migrations_out.load(Ordering::Relaxed),
-            migrations_in: self.migrations_in.load(Ordering::Relaxed),
-            replica_pushes: self.replica_pushes.load(Ordering::Relaxed),
-            replica_pulls: self.replica_pulls.load(Ordering::Relaxed),
-            redirections: self.redirections.load(Ordering::Relaxed),
-            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            fs_ops: self.fs_ops.get(),
+            failovers: self.failovers.get(),
+            promotions: self.promotions.get(),
+            migrations_out: self.migrations_out.get(),
+            migrations_in: self.migrations_in.get(),
+            replica_pushes: self.replica_pushes.get(),
+            replica_pulls: self.replica_pulls.get(),
+            redirections: self.redirections.get(),
+            replica_reads: self.replica_reads.get(),
         }
     }
 }
@@ -89,13 +112,24 @@ mod tests {
 
     #[test]
     fn snapshot_reflects_bumps() {
-        let s = KoshaStats::default();
-        KoshaStats::bump(&s.promotions);
-        KoshaStats::bump(&s.promotions);
-        KoshaStats::bump(&s.fs_ops);
+        let obs = Obs::new();
+        let s = KoshaStats::new(&obs);
+        s.promotions.inc();
+        s.promotions.inc();
+        s.fs_ops.inc();
         let snap = s.snapshot();
         assert_eq!(snap.promotions, 2);
         assert_eq!(snap.fs_ops, 1);
         assert_eq!(snap.failovers, 0);
+    }
+
+    #[test]
+    fn counters_surface_in_the_registry() {
+        let obs = Obs::new();
+        let s = KoshaStats::new(&obs);
+        s.failovers.inc();
+        assert_eq!(obs.registry.counter("kosha_failovers_total").get(), 1);
+        let text = obs.registry.render();
+        assert!(text.contains("kosha_failovers_total 1"), "{text}");
     }
 }

@@ -4,7 +4,7 @@
 use kosha::{KoshaConfig, KoshaMount, KoshaNode};
 use kosha_id::node_id_from_seed;
 use kosha_nfs::{NfsError, NfsStatus};
-use kosha_rpc::{Network, NodeAddr, SimNetwork};
+use kosha_rpc::{LatencyModel, Network, NodeAddr, SimNetwork};
 use kosha_vfs::FileType;
 use std::sync::Arc;
 
@@ -14,7 +14,10 @@ struct Cluster {
 }
 
 fn build_cluster(n: usize, cfg: KoshaConfig) -> Cluster {
-    let net = SimNetwork::new_zero_latency();
+    build_cluster_on(SimNetwork::new_zero_latency(), n, cfg)
+}
+
+fn build_cluster_on(net: Arc<SimNetwork>, n: usize, cfg: KoshaConfig) -> Cluster {
     let mut nodes = Vec::new();
     for i in 0..n {
         let id = node_id_from_seed(&format!("kosha-host-{i}"));
@@ -46,8 +49,12 @@ fn single_node_basic_io() {
     let c = build_cluster(1, KoshaConfig::for_tests());
     let m = mount(&c, 0);
     m.mkdir_p("/alice/docs").unwrap();
-    m.write_file("/alice/docs/hello.txt", b"hello kosha").unwrap();
-    assert_eq!(m.read_file("/alice/docs/hello.txt").unwrap(), b"hello kosha");
+    m.write_file("/alice/docs/hello.txt", b"hello kosha")
+        .unwrap();
+    assert_eq!(
+        m.read_file("/alice/docs/hello.txt").unwrap(),
+        b"hello kosha"
+    );
     let names: Vec<String> = m
         .readdir("/alice/docs")
         .unwrap()
@@ -345,10 +352,7 @@ fn replication_places_copies_on_neighbors() {
         let mut found = false;
         node.with_store(|v| {
             v.walk(|p, attr| {
-                if p.starts_with("/kosha_replica")
-                    && p.ends_with("data.bin")
-                    && attr.size == 4096
-                {
+                if p.starts_with("/kosha_replica") && p.ends_with("data.bin") && attr.size == 4096 {
                     found = true;
                 }
             })
@@ -439,7 +443,10 @@ fn migration_follows_key_space_on_join() {
     let all: Vec<&Arc<KoshaNode>> = c.nodes.iter().chain(new_nodes.iter()).collect();
     for node in &all {
         for (path, routing) in node.hosted_anchors() {
-            let owner = node.pastry().route_owner(kosha_id::dir_key(&routing)).unwrap();
+            let owner = node
+                .pastry()
+                .route_owner(kosha_id::dir_key(&routing))
+                .unwrap();
             assert_eq!(
                 owner.id,
                 node.id(),
@@ -733,4 +740,99 @@ fn same_name_directories_colocate_without_conflict() {
     let h2 = host_of("/u2/src");
     assert!(h1.is_some() && h2.is_some());
     assert_eq!(h1, h2, "same-named dirs should share a node");
+}
+
+#[test]
+fn stats_record_capacity_redirections() {
+    // `kosha_redirections_total` only bumps on placement attempt > 0
+    // (crates/core/src/ops.rs, place_with_redirection), so it stays at
+    // zero under roomy defaults; this scenario forces the full-node path.
+    let mut cfg = KoshaConfig::for_tests();
+    cfg.distribution_level = 1;
+    cfg.replicas = 0;
+    cfg.redirect_attempts = 8;
+    cfg.redirect_utilization = 0.5;
+    cfg.contributed_bytes = 8192; // tiny stores force redirection
+    let c = build_cluster(6, cfg);
+    let m = mount(&c, 0);
+    for i in 0..12 {
+        let dir = format!("/d{i}");
+        if m.mkdir_p(&dir).is_err() {
+            continue;
+        }
+        let _ = m.write_file(&format!("{dir}/blob"), &[9u8; 3000]);
+    }
+    let redirections: u64 = c.nodes.iter().map(|n| n.stats().redirections).sum();
+    assert!(redirections > 0, "full nodes never counted a redirection");
+    // The same mechanism journals a "redirection" event on the placing
+    // node.
+    let journaled: usize = c
+        .nodes
+        .iter()
+        .map(|n| n.obs().journal.of_kind("redirection").len())
+        .sum();
+    assert!(journaled > 0, "no redirection events journaled");
+}
+
+#[test]
+fn failover_populates_rpc_histograms_and_journal() {
+    // Observability acceptance: after a kill/failover scenario, the
+    // transport's RPC latency histograms hold samples and the gateway's
+    // journal holds the failover event. A real latency model makes the
+    // recorded latencies non-zero (and deterministic, under SimTime).
+    let mut cfg = KoshaConfig::for_tests();
+    cfg.distribution_level = 1;
+    cfg.replicas = 2;
+    let net = SimNetwork::new(LatencyModel::default());
+    let c = build_cluster_on(net, 6, cfg);
+    let m = mount(&c, 0);
+    m.mkdir_p("/obs2").unwrap();
+    m.write_file("/obs2/f", b"instrumented").unwrap();
+
+    let primary = c
+        .nodes
+        .iter()
+        .find(|n| n.hosted_anchors().iter().any(|(p, _)| p == "/obs2"))
+        .unwrap();
+    if primary.addr() == c.nodes[0].addr() {
+        // Deterministic placement makes this branch stable; under the
+        // seeded ids the anchor lands off-gateway, so failing here means
+        // the seeds changed — pick a different anchor name in that case.
+        panic!("/obs2 landed on the gateway; choose another anchor name");
+    }
+    c.net.fail_node(primary.addr());
+    assert_eq!(m.read_file("/obs2/f").unwrap(), b"instrumented");
+
+    // Transport-level RPC metrics: every service that carried traffic
+    // has latency samples with non-zero totals.
+    let tobs = c.net.obs();
+    let reg = &tobs.registry;
+    for svc in ["kosha", "nfs", "pastry"] {
+        let h = reg.histogram(&format!("rpc_latency_nanos{{service=\"{svc}\"}}"));
+        assert!(h.count() > 0, "no rpc latency samples for {svc}");
+        assert!(h.sum() > 0, "zero total latency for {svc}");
+    }
+    assert!(
+        reg.counter("rpc_failed_calls_total{service=\"kosha\"}")
+            .get()
+            + reg.counter("rpc_failed_calls_total{service=\"nfs\"}").get()
+            > 0,
+        "killing the primary should have failed at least one RPC"
+    );
+
+    // Node-level journal: the gateway recorded the failover, and the
+    // rendered exposition carries the same counter.
+    let gobs = c.nodes[0].obs();
+    let failovers = gobs.journal.of_kind("failover");
+    assert!(!failovers.is_empty(), "no failover event journaled");
+    assert!(
+        failovers[0].detail.contains("unreachable"),
+        "unexpected detail: {}",
+        failovers[0].detail
+    );
+    let text = gobs.registry.render();
+    assert!(
+        text.contains("kosha_failovers_total"),
+        "exposition missing failover counter:\n{text}"
+    );
 }

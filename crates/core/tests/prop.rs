@@ -39,7 +39,13 @@ fn arb_item() -> impl Strategy<Value = MigrateItem> {
 
 fn arb_request() -> impl Strategy<Value = KoshaRequest> {
     prop_oneof![
-        (arb_path(), 0u32..0o10000, any::<u32>(), any::<u32>(), proptest::option::of(any::<u64>()))
+        (
+            arb_path(),
+            0u32..0o10000,
+            any::<u32>(),
+            any::<u32>(),
+            proptest::option::of(any::<u64>())
+        )
             .prop_map(|(path, mode, uid, gid, size)| KoshaRequest::CreateFile {
                 path,
                 mode,
@@ -55,15 +61,22 @@ fn arb_request() -> impl Strategy<Value = KoshaRequest> {
                 gid
             }
         ),
-        (arb_path(), "[a-z#0-9]{1,16}", 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
-            |(path, routing_name, mode, uid, gid)| KoshaRequest::MkdirAnchor {
-                path,
-                routing_name,
-                mode,
-                uid,
-                gid
-            }
-        ),
+        (
+            arb_path(),
+            "[a-z#0-9]{1,16}",
+            0u32..0o10000,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(path, routing_name, mode, uid, gid)| KoshaRequest::MkdirAnchor {
+                    path,
+                    routing_name,
+                    mode,
+                    uid,
+                    gid
+                }
+            ),
         (arb_path(), "[a-z#0-9]{1,16}", any::<u32>(), any::<u32>()).prop_map(
             |(path, target, uid, gid)| KoshaRequest::PlaceLink {
                 path,
@@ -72,7 +85,11 @@ fn arb_request() -> impl Strategy<Value = KoshaRequest> {
                 gid
             }
         ),
-        (arb_path(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..128))
+        (
+            arb_path(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
             .prop_map(|(path, offset, data)| KoshaRequest::Write { path, offset, data }),
         (arb_path(), proptest::option::of(any::<u64>())).prop_map(|(path, size)| {
             KoshaRequest::SetAttr {
@@ -89,15 +106,12 @@ fn arb_request() -> impl Strategy<Value = KoshaRequest> {
         arb_path().prop_map(|path| KoshaRequest::RemoveLink { path }),
         (arb_path(), arb_path()).prop_map(|(from, to)| KoshaRequest::RenameLocal { from, to }),
         (arb_path(), arb_path()).prop_map(|(from, to)| KoshaRequest::RenameAnchorDir { from, to }),
-        (arb_path(), "[a-z#0-9]{1,16}").prop_map(|(path, routing)| KoshaRequest::EnsureAnchor {
-            path,
-            routing
-        }),
+        (arb_path(), "[a-z#0-9]{1,16}")
+            .prop_map(|(path, routing)| KoshaRequest::EnsureAnchor { path, routing }),
         Just(KoshaRequest::StoreStats),
         Just(KoshaRequest::ListAnchors),
         arb_path().prop_map(|path| KoshaRequest::BeginTransfer { path }),
-        (arb_path(), arb_item())
-            .prop_map(|(path, item)| KoshaRequest::TransferPut { path, item }),
+        (arb_path(), arb_item()).prop_map(|(path, item)| KoshaRequest::TransferPut { path, item }),
         (arb_path(), "[a-z#0-9]{1,16}").prop_map(|(path, routing_name)| {
             KoshaRequest::CommitTransfer { path, routing_name }
         }),

@@ -24,6 +24,7 @@
 
 use crate::client::{ClientDirEntry, NfsClient};
 use crate::messages::{Fh, NfsError, NfsResult, NfsStatus};
+use kosha_obs::{Counter, Obs};
 use kosha_rpc::{Clock, NodeAddr, SimTime};
 use kosha_vfs::{Attr, FileType, SetAttr};
 use parking_lot::Mutex;
@@ -70,6 +71,31 @@ pub struct CacheStats {
     pub data_hits: AtomicU64,
     /// Reads that fetched from the server.
     pub data_misses: AtomicU64,
+}
+
+/// Registry-backed mirrors of [`CacheStats`], named
+/// `nfs_cache_hits_total{cache=...}` / `nfs_cache_misses_total{cache=...}`.
+struct CacheMetrics {
+    attr_hits: Arc<Counter>,
+    attr_misses: Arc<Counter>,
+    dentry_hits: Arc<Counter>,
+    dentry_misses: Arc<Counter>,
+    data_hits: Arc<Counter>,
+    data_misses: Arc<Counter>,
+}
+
+impl CacheMetrics {
+    fn new(obs: &Obs) -> Self {
+        let c = |name: &str| obs.registry.counter(name);
+        CacheMetrics {
+            attr_hits: c("nfs_cache_hits_total{cache=\"attr\"}"),
+            attr_misses: c("nfs_cache_misses_total{cache=\"attr\"}"),
+            dentry_hits: c("nfs_cache_hits_total{cache=\"dentry\"}"),
+            dentry_misses: c("nfs_cache_misses_total{cache=\"dentry\"}"),
+            data_hits: c("nfs_cache_hits_total{cache=\"data\"}"),
+            data_misses: c("nfs_cache_misses_total{cache=\"data\"}"),
+        }
+    }
 }
 
 impl CacheStats {
@@ -126,6 +152,7 @@ pub struct CachingClient {
     data: Mutex<HashMap<Fh, DataEntry>>,
     data_bytes: AtomicU64,
     stats: CacheStats,
+    metrics: Option<CacheMetrics>,
 }
 
 impl CachingClient {
@@ -146,13 +173,31 @@ impl CachingClient {
             data: Mutex::new(HashMap::new()),
             data_bytes: AtomicU64::new(0),
             stats: CacheStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Mirrors hit/miss counters into `obs` as
+    /// `nfs_cache_{hits,misses}_total{cache=...}`. Chainable after
+    /// [`CachingClient::new`].
+    #[must_use]
+    pub fn observed(mut self, obs: &Obs) -> Self {
+        self.metrics = Some(CacheMetrics::new(obs));
+        self
     }
 
     /// Cache counters.
     #[must_use]
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Bumps a local stat and, when observed, its registry mirror.
+    fn tally(&self, stat: &AtomicU64, mirror: fn(&CacheMetrics) -> &Counter) {
+        stat.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            mirror(m).inc();
+        }
     }
 
     /// Drops every cached entry (umount / failover).
@@ -210,11 +255,11 @@ impl CachingClient {
     pub fn getattr(&self, fh: Fh) -> NfsResult<Attr> {
         if let Some(e) = self.attrs.lock().get(&fh) {
             if self.fresh(e.fetched) {
-                CacheStats::bump(&self.stats.attr_hits);
+                self.tally(&self.stats.attr_hits, |m| &m.attr_hits);
                 return Ok(e.attr.clone());
             }
         }
-        CacheStats::bump(&self.stats.attr_misses);
+        self.tally(&self.stats.attr_misses, |m| &m.attr_misses);
         let attr = self.inner.getattr(self.server, fh)?;
         self.remember_attr(fh, &attr);
         Ok(attr)
@@ -237,13 +282,13 @@ impl CachingClient {
             })
         };
         if let Some(hit) = cached {
-            CacheStats::bump(&self.stats.dentry_hits);
+            self.tally(&self.stats.dentry_hits, |m| &m.dentry_hits);
             return match hit {
                 Some(fh) => Ok((fh, self.getattr(fh)?)),
                 None => Err(NfsError::Status(NfsStatus::NoEnt)),
             };
         }
-        CacheStats::bump(&self.stats.dentry_misses);
+        self.tally(&self.stats.dentry_misses, |m| &m.dentry_misses);
         match self.inner.lookup(self.server, dir, name) {
             Ok((fh, attr)) => {
                 self.remember_attr(fh, &attr);
@@ -284,12 +329,12 @@ impl CachingClient {
             if let Some(e) = data.get_mut(&fh) {
                 if e.mtime == attr.mtime {
                     e.last_used = self.clock.now();
-                    CacheStats::bump(&self.stats.data_hits);
+                    self.tally(&self.stats.data_hits, |m| &m.data_hits);
                     return Ok(e.data.clone());
                 }
             }
         }
-        CacheStats::bump(&self.stats.data_misses);
+        self.tally(&self.stats.data_misses, |m| &m.data_misses);
         let mut out = Vec::with_capacity(attr.size as usize);
         let mut off = 0u64;
         loop {
@@ -310,7 +355,8 @@ impl CachingClient {
                     last_used: self.clock.now(),
                 },
             );
-            self.data_bytes.fetch_add(out.len() as u64, Ordering::Relaxed);
+            self.data_bytes
+                .fetch_add(out.len() as u64, Ordering::Relaxed);
         }
         Ok(out)
     }
@@ -348,7 +394,14 @@ impl CachingClient {
     }
 
     /// CREATE: write-through + prime the caches.
-    pub fn create(&self, dir: Fh, name: &str, mode: u32, uid: u32, gid: u32) -> NfsResult<(Fh, Attr)> {
+    pub fn create(
+        &self,
+        dir: Fh,
+        name: &str,
+        mode: u32,
+        uid: u32,
+        gid: u32,
+    ) -> NfsResult<(Fh, Attr)> {
         let (fh, attr) = self.inner.create(self.server, dir, name, mode, uid, gid)?;
         self.remember_attr(fh, &attr);
         self.dentries.lock().insert(
@@ -362,7 +415,14 @@ impl CachingClient {
     }
 
     /// MKDIR: write-through + prime.
-    pub fn mkdir(&self, dir: Fh, name: &str, mode: u32, uid: u32, gid: u32) -> NfsResult<(Fh, Attr)> {
+    pub fn mkdir(
+        &self,
+        dir: Fh,
+        name: &str,
+        mode: u32,
+        uid: u32,
+        gid: u32,
+    ) -> NfsResult<(Fh, Attr)> {
         let (fh, attr) = self.inner.mkdir(self.server, dir, name, mode, uid, gid)?;
         self.remember_attr(fh, &attr);
         self.dentries.lock().insert(
@@ -416,12 +476,6 @@ impl CachingClient {
     /// clients cache these with separate, shorter TTLs).
     pub fn readdir(&self, dir: Fh) -> NfsResult<Vec<ClientDirEntry>> {
         self.inner.readdir(self.server, dir)
-    }
-}
-
-impl CacheStats {
-    fn bump(c: &AtomicU64) {
-        c.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -5,12 +5,33 @@
 //! method takes the target server's address, so one client instance serves
 //! both the local loopback store and any remote node.
 
-use crate::messages::{
-    Fh, NfsError, NfsReply, NfsReplyFrame, NfsRequest, NfsResult, WireSetAttr,
-};
+use crate::messages::{Fh, NfsError, NfsReply, NfsReplyFrame, NfsRequest, NfsResult, WireSetAttr};
+use kosha_obs::{Counter, Histogram, Obs};
 use kosha_rpc::{Network, NodeAddr, RpcRequest, ServiceId};
 use kosha_vfs::{Attr, SetAttr};
 use std::sync::Arc;
+
+/// Pre-resolved per-procedure client metrics (one latency histogram per
+/// NFS procedure, plus a transport-error counter).
+struct ProcMetrics {
+    latency: Vec<Arc<Histogram>>,
+    errors: Arc<Counter>,
+}
+
+impl ProcMetrics {
+    fn new(obs: &Obs) -> Self {
+        ProcMetrics {
+            latency: NfsRequest::PROC_NAMES
+                .iter()
+                .map(|p| {
+                    obs.registry
+                        .histogram(&format!("nfs_client_latency_nanos{{proc=\"{p}\"}}"))
+                })
+                .collect(),
+            errors: obs.registry.counter("nfs_client_rpc_errors_total"),
+        }
+    }
+}
 
 /// A directory entry as seen by clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +50,7 @@ pub struct NfsClient {
     net: Arc<dyn Network>,
     from: NodeAddr,
     service: ServiceId,
+    metrics: Option<Arc<ProcMetrics>>,
 }
 
 impl NfsClient {
@@ -42,7 +64,21 @@ impl NfsClient {
     /// — e.g. [`ServiceId::KoshaFs`], the koshad loopback server
     /// exporting the virtual `/kosha` file system.
     pub fn with_service(net: Arc<dyn Network>, from: NodeAddr, service: ServiceId) -> Self {
-        NfsClient { net, from, service }
+        NfsClient {
+            net,
+            from,
+            service,
+            metrics: None,
+        }
+    }
+
+    /// Enables per-procedure latency metrics
+    /// (`nfs_client_latency_nanos{proc=...}`, measured on the transport
+    /// clock) recorded into `obs`. Chainable after either constructor.
+    #[must_use]
+    pub fn observed(mut self, obs: &Obs) -> Self {
+        self.metrics = Some(Arc::new(ProcMetrics::new(obs)));
+        self
     }
 
     /// The address RPCs are issued from.
@@ -52,9 +88,20 @@ impl NfsClient {
     }
 
     fn call(&self, to: NodeAddr, req: &NfsRequest) -> NfsResult<NfsReply> {
-        let resp = self
-            .net
-            .call(self.from, to, RpcRequest::new(self.service, req))?;
+        let rpc = RpcRequest::new(self.service, req);
+        let resp = match &self.metrics {
+            None => self.net.call(self.from, to, rpc)?,
+            Some(m) => {
+                let clock = self.net.clock();
+                let t0 = clock.now();
+                let result = self.net.call(self.from, to, rpc);
+                m.latency[req.proc_index()].record(clock.now().since_nanos(t0));
+                if result.is_err() {
+                    m.errors.inc();
+                }
+                result?
+            }
+        };
         let frame: NfsReplyFrame = resp.decode()?;
         frame.0.map_err(NfsError::Status)
     }
@@ -126,7 +173,13 @@ impl NfsClient {
     }
 
     /// READ.
-    pub fn read(&self, to: NodeAddr, fh: Fh, offset: u64, count: u32) -> NfsResult<(Vec<u8>, bool)> {
+    pub fn read(
+        &self,
+        to: NodeAddr,
+        fh: Fh,
+        offset: u64,
+        count: u32,
+    ) -> NfsResult<(Vec<u8>, bool)> {
         match self.call(to, &NfsRequest::Read { fh, offset, count })? {
             NfsReply::Data { data, eof } => Ok((data, eof)),
             _ => Self::unexpected(),
@@ -360,8 +413,7 @@ impl NfsClient {
     /// (Section 4.1.3: "Looking up the full path by an NFS client requires
     /// a sequence of lookup RPCs").
     pub fn lookup_path(&self, to: NodeAddr, root: Fh, path: &str) -> NfsResult<(Fh, Attr)> {
-        let comps =
-            kosha_vfs::split_path(path).map_err(|e| NfsError::Status(e.into()))?;
+        let comps = kosha_vfs::split_path(path).map_err(|e| NfsError::Status(e.into()))?;
         let mut fh = root;
         let mut attr = self.getattr(to, root)?;
         for c in comps {
@@ -385,8 +437,7 @@ impl NfsClient {
         uid: u32,
         gid: u32,
     ) -> NfsResult<Fh> {
-        let comps =
-            kosha_vfs::split_path(path).map_err(|e| NfsError::Status(e.into()))?;
+        let comps = kosha_vfs::split_path(path).map_err(|e| NfsError::Status(e.into()))?;
         let mut fh = root;
         for c in comps {
             fh = match self.lookup(to, fh, c) {
@@ -463,7 +514,9 @@ mod tests {
     fn symlink_protocol_round_trip() {
         let (_net, c, s) = setup();
         let root = c.mount(s).unwrap();
-        let (lfh, _) = c.symlink(s, root, "sdirm", "sdirm#42", 0o1777, 0, 0).unwrap();
+        let (lfh, _) = c
+            .symlink(s, root, "sdirm", "sdirm#42", 0o1777, 0, 0)
+            .unwrap();
         assert_eq!(c.readlink(s, lfh).unwrap(), "sdirm#42");
         let entries = c.readdir(s, root).unwrap();
         assert_eq!(entries.len(), 1);

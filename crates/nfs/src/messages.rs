@@ -454,6 +454,64 @@ pub enum NfsRequest {
     Fsstat,
 }
 
+impl NfsRequest {
+    /// Stable lower-case procedure labels, indexed by
+    /// [`NfsRequest::proc_index`] (used for per-procedure metrics).
+    pub const PROC_NAMES: [&'static str; 19] = [
+        "null",
+        "mount",
+        "getattr",
+        "setattr",
+        "lookup",
+        "readlink",
+        "access",
+        "read",
+        "write",
+        "create",
+        "create_sized",
+        "mkdir",
+        "symlink",
+        "remove",
+        "rmdir",
+        "remove_tree",
+        "rename",
+        "readdir",
+        "fsstat",
+    ];
+
+    /// Dense index of this procedure into [`NfsRequest::PROC_NAMES`].
+    #[must_use]
+    pub fn proc_index(&self) -> usize {
+        match self {
+            NfsRequest::Null => 0,
+            NfsRequest::Mount => 1,
+            NfsRequest::Getattr { .. } => 2,
+            NfsRequest::Setattr { .. } => 3,
+            NfsRequest::Lookup { .. } => 4,
+            NfsRequest::Readlink { .. } => 5,
+            NfsRequest::Access { .. } => 6,
+            NfsRequest::Read { .. } => 7,
+            NfsRequest::Write { .. } => 8,
+            NfsRequest::Create { .. } => 9,
+            NfsRequest::CreateSized { .. } => 10,
+            NfsRequest::Mkdir { .. } => 11,
+            NfsRequest::Symlink { .. } => 12,
+            NfsRequest::Remove { .. } => 13,
+            NfsRequest::Rmdir { .. } => 14,
+            NfsRequest::RemoveTree { .. } => 15,
+            NfsRequest::Rename { .. } => 16,
+            NfsRequest::Readdir { .. } => 17,
+            NfsRequest::Fsstat => 18,
+        }
+    }
+
+    /// Lower-case procedure label, e.g. `"lookup"`.
+    #[must_use]
+    pub fn proc_name(&self) -> &'static str {
+        Self::PROC_NAMES[self.proc_index()]
+    }
+}
+
 impl WireWrite for NfsRequest {
     fn write(&self, w: &mut Writer) {
         match self {

@@ -1,6 +1,7 @@
 //! The per-node NFS server: one export backed by one [`Vfs`] store.
 
 use crate::messages::{NfsReply, NfsReplyFrame, NfsRequest, WireAttr};
+use kosha_obs::{Counter, Obs};
 use kosha_rpc::{Clock, NodeAddr, RpcError, RpcHandler, RpcResponse, WireRead};
 use kosha_vfs::Vfs;
 use parking_lot::Mutex;
@@ -52,6 +53,9 @@ pub struct NfsServer {
     vfs: Mutex<Vfs>,
     clock: Arc<dyn Clock>,
     disk: DiskModel,
+    /// Per-procedure op counters (`nfs_server_ops_total{proc=...}`),
+    /// indexed by [`NfsRequest::proc_index`]. Empty when unobserved.
+    ops: Vec<Arc<Counter>>,
 }
 
 impl NfsServer {
@@ -61,6 +65,25 @@ impl NfsServer {
             vfs: Mutex::new(vfs),
             clock,
             disk,
+            ops: Vec::new(),
+        })
+    }
+
+    /// Like [`NfsServer::new`], but counting every executed procedure
+    /// into `obs` as `nfs_server_ops_total{proc=...}`.
+    pub fn new_with_obs(vfs: Vfs, clock: Arc<dyn Clock>, disk: DiskModel, obs: &Obs) -> Arc<Self> {
+        let ops = NfsRequest::PROC_NAMES
+            .iter()
+            .map(|p| {
+                obs.registry
+                    .counter(&format!("nfs_server_ops_total{{proc=\"{p}\"}}"))
+            })
+            .collect();
+        Arc::new(NfsServer {
+            vfs: Mutex::new(vfs),
+            clock,
+            disk,
+            ops,
         })
     }
 
@@ -80,6 +103,9 @@ impl NfsServer {
     }
 
     fn execute(&self, req: NfsRequest) -> NfsReplyFrame {
+        if let Some(c) = self.ops.get(req.proc_index()) {
+            c.inc();
+        }
         let mut vfs = self.vfs.lock();
         vfs.set_now(self.clock.now().0);
         let disk = &self.disk;

@@ -77,63 +77,93 @@ fn arb_request() -> impl Strategy<Value = NfsRequest> {
         }),
         (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::Lookup { dir, name }),
         arb_fh().prop_map(|fh| NfsRequest::Readlink { fh }),
-        (arb_fh(), any::<u64>(), any::<u32>())
-            .prop_map(|(fh, offset, count)| NfsRequest::Read { fh, offset, count }),
-        (arb_fh(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256))
+        (arb_fh(), any::<u64>(), any::<u32>()).prop_map(|(fh, offset, count)| NfsRequest::Read {
+            fh,
+            offset,
+            count
+        }),
+        (
+            arb_fh(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
             .prop_map(|(fh, offset, data)| NfsRequest::Write { fh, offset, data }),
-        (arb_fh(), arb_name(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
-            |(dir, name, mode, uid, gid)| NfsRequest::Create {
+        (
+            arb_fh(),
+            arb_name(),
+            0u32..0o10000,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(dir, name, mode, uid, gid)| NfsRequest::Create {
                 dir,
                 name,
                 mode,
                 uid,
                 gid
-            }
-        ),
-        (arb_fh(), arb_name(), any::<u64>(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
-            |(dir, name, size, mode, uid, gid)| NfsRequest::CreateSized {
+            }),
+        (
+            arb_fh(),
+            arb_name(),
+            any::<u64>(),
+            0u32..0o10000,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(dir, name, size, mode, uid, gid)| NfsRequest::CreateSized {
+                    dir,
+                    name,
+                    size,
+                    mode,
+                    uid,
+                    gid
+                }
+            ),
+        (
+            arb_fh(),
+            arb_name(),
+            0u32..0o10000,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(dir, name, mode, uid, gid)| NfsRequest::Mkdir {
                 dir,
                 name,
-                size,
                 mode,
                 uid,
                 gid
-            }
-        ),
-        (arb_fh(), arb_name(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
-            |(dir, name, mode, uid, gid)| NfsRequest::Mkdir {
-                dir,
-                name,
-                mode,
-                uid,
-                gid
-            }
-        ),
-        (arb_fh(), arb_name(), arb_name(), 0u32..0o10000, any::<u32>(), any::<u32>()).prop_map(
-            |(dir, name, target, mode, uid, gid)| NfsRequest::Symlink {
+            }),
+        (
+            arb_fh(),
+            arb_name(),
+            arb_name(),
+            0u32..0o10000,
+            any::<u32>(),
+            any::<u32>()
+        )
+            .prop_map(|(dir, name, target, mode, uid, gid)| NfsRequest::Symlink {
                 dir,
                 name,
                 target,
                 mode,
                 uid,
                 gid
-            }
-        ),
+            }),
         (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::Remove { dir, name }),
         (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::Rmdir { dir, name }),
         (arb_fh(), arb_name()).prop_map(|(dir, name)| NfsRequest::RemoveTree { dir, name }),
-        (arb_fh(), arb_name(), arb_fh(), arb_name()).prop_map(
-            |(sdir, sname, ddir, dname)| NfsRequest::Rename {
+        (arb_fh(), arb_name(), arb_fh(), arb_name()).prop_map(|(sdir, sname, ddir, dname)| {
+            NfsRequest::Rename {
                 sdir,
                 sname,
                 ddir,
-                dname
+                dname,
             }
-        ),
+        }),
         arb_fh().prop_map(|dir| NfsRequest::Readdir { dir }),
-        (arb_fh(), any::<u32>(), any::<u32>(), 0u32..8).prop_map(
-            |(fh, uid, gid, want)| NfsRequest::Access { fh, uid, gid, want }
-        ),
+        (arb_fh(), any::<u32>(), any::<u32>(), 0u32..8)
+            .prop_map(|(fh, uid, gid, want)| NfsRequest::Access { fh, uid, gid, want }),
     ]
 }
 
@@ -149,7 +179,10 @@ fn arb_reply() -> impl Strategy<Value = NfsReply> {
             attr: kosha_nfs::WireAttr(a)
         }),
         arb_name().prop_map(|target| NfsReply::Target { target }),
-        (proptest::collection::vec(any::<u8>(), 0..512), any::<bool>())
+        (
+            proptest::collection::vec(any::<u8>(), 0..512),
+            any::<bool>()
+        )
             .prop_map(|(data, eof)| NfsReply::Data { data, eof }),
         any::<u32>().prop_map(|count| NfsReply::Written { count }),
         proptest::collection::vec((arb_name(), arb_fh(), arb_ftype()), 0..16).prop_map(|v| {

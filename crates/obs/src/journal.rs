@@ -1,0 +1,161 @@
+//! Bounded structured event journal.
+//!
+//! A ring buffer of the most recent events: what a production `koshad`
+//! would write to its log, kept in memory so simulations and tests can
+//! assert on causality ("a failover event was journaled before the
+//! promotion"). Events carry the transport clock's timestamp (virtual
+//! nanoseconds under `SimNetwork`, so output is deterministic), the node
+//! the event happened on, a free-form kind, an op-id correlating events
+//! of one logical operation across layers, and a human-readable detail.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (1-based, gap-free per journal).
+    pub seq: u64,
+    /// Timestamp in nanoseconds on the caller's clock.
+    pub t_nanos: u64,
+    /// Node the event happened on (transport address).
+    pub node: u64,
+    /// Event kind, e.g. `"failover"`, `"promotion"`, `"leaf_repair"`.
+    pub kind: &'static str,
+    /// Operation id correlating events across layers (0 = none).
+    pub op_id: u64,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>12}ns] n{} #{} {}: {}",
+            self.t_nanos, self.node, self.op_id, self.kind, self.detail
+        )
+    }
+}
+
+/// Bounded ring of recent [`Event`]s.
+#[derive(Debug)]
+pub struct Journal {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// New journal retaining the last `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Journal {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(
+        &self,
+        t_nanos: u64,
+        node: u64,
+        kind: &'static str,
+        op_id: u64,
+        detail: impl Into<String>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ev = Event {
+            seq,
+            t_nanos,
+            node,
+            kind,
+            op_id,
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock().expect("journal lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("journal lock").len()
+    }
+
+    /// True if no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted due to capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `n` events, oldest first.
+    #[must_use]
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let ring = self.ring.lock().expect("journal lock");
+        ring.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// All retained events of the given kind, oldest first.
+    #[must_use]
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        let ring = self.ring.lock().expect("journal lock");
+        ring.iter().filter(|e| e.kind == kind).cloned().collect()
+    }
+
+    /// Renders the last `n` events, one per line (deterministic given a
+    /// deterministic clock).
+    #[must_use]
+    pub fn render_recent(&self, n: usize) -> String {
+        self.recent(n).iter().map(|e| format!("{e}\n")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let j = Journal::new(3);
+        for i in 0..5u64 {
+            j.record(i * 10, 1, "tick", i, format!("event {i}"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let recent = j.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 3);
+        assert_eq!(recent[2].seq, 5);
+    }
+
+    #[test]
+    fn kind_filter_and_render() {
+        let j = Journal::new(10);
+        j.record(5, 2, "failover", 1, "n3 dead");
+        j.record(9, 2, "promotion", 1, "replica -> primary");
+        assert_eq!(j.of_kind("failover").len(), 1);
+        let text = j.render_recent(10);
+        assert!(text.contains("failover: n3 dead"));
+        assert!(text.lines().count() == 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Observability for the Kosha reproduction.
+//!
+//! The paper evaluates Kosha purely by external wall-clock measurement
+//! (Modified Andrew Benchmark, §5/§6); the only internal visibility the
+//! prototype had was printf. This crate gives every layer of the
+//! reproduction the instrumentation-first tooling the DHT-storage
+//! literature uses to attribute cost:
+//!
+//! * [`Histogram`] — a lock-free log-linear latency histogram (atomic
+//!   buckets, ~6% relative error) with p50/p95/p99/max and lossless
+//!   merge,
+//! * [`Registry`] — named counters, gauges, and histograms with a
+//!   Prometheus-style text exposition ([`Registry::render`]) and a
+//!   compact JSON dump ([`Registry::to_json`]) for benches,
+//! * [`Journal`] — a bounded ring buffer of structured events stamped
+//!   with the transport clock ([`crate::journal::Event`]) and an op-id
+//!   for causality, scoped per node.
+//!
+//! The crate has zero dependencies (it sits *below* `kosha-rpc` in the
+//! dependency graph, so every layer can use it). Time is plain `u64`
+//! nanoseconds; callers stamp events from whatever clock their transport
+//! uses (`SimTime` under `SimNetwork`, monotonic wall time under
+//! `ThreadedNetwork`), keeping output deterministic in simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod journal;
+pub mod registry;
+
+pub use histogram::Histogram;
+pub use journal::{Event, Journal};
+pub use registry::{Counter, Gauge, Registry};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One observability domain: a metrics registry plus an event journal
+/// sharing an op-id sequence. Layers within one node (or one transport)
+/// share a single `Obs` so their metrics and events correlate.
+#[derive(Debug)]
+pub struct Obs {
+    /// Named metrics.
+    pub registry: Registry,
+    /// Structured event ring.
+    pub journal: Journal,
+    next_op: AtomicU64,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::with_journal_capacity(Journal::DEFAULT_CAPACITY)
+    }
+}
+
+impl Obs {
+    /// New domain with the default journal capacity.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Obs::default())
+    }
+
+    /// New domain whose journal keeps the last `capacity` events.
+    #[must_use]
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Obs {
+            registry: Registry::new(),
+            journal: Journal::new(capacity),
+            next_op: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocates the next operation id (used to correlate journal events
+    /// belonging to one logical operation across layers).
+    pub fn next_op_id(&self) -> u64 {
+        self.next_op.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_ids_are_unique_and_monotonic() {
+        let obs = Obs::new();
+        let a = obs.next_op_id();
+        let b = obs.next_op_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn registry_and_journal_share_a_domain() {
+        let obs = Obs::new();
+        obs.registry.counter("x_total").inc();
+        let op = obs.next_op_id();
+        obs.journal.record(0, 7, "test", op, "hello");
+        assert_eq!(obs.registry.counter("x_total").get(), 1);
+        assert_eq!(obs.journal.len(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Named-metric registry with Prometheus-style text exposition.
+//!
+//! Metric names follow Prometheus conventions: `snake_case` with a unit
+//! suffix (`_total`, `_nanos`, `_bytes`), optionally followed by a
+//! `{label="value",...}` set baked into the name (the registry treats the
+//! full string as the key; [`Registry::render`] splits base name and
+//! labels when emitting `# TYPE` headers). Handles returned by
+//! [`Registry::counter`] / [`gauge`](Registry::gauge) /
+//! [`histogram`](Registry::histogram) are cheap `Arc`s — fetch once, bump
+//! forever, no lock on the hot path.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Named counters, gauges, and histograms. Lookup/creation takes a lock;
+/// returned handles do not.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Names of all registered metrics, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.metrics
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Prometheus-style text exposition. Deterministic: metrics are
+    /// emitted in sorted name order; histograms render as summaries
+    /// (`{quantile="..."}` samples plus `_sum`/`_count`/`_max`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let snapshot: Vec<(String, Metric)> = {
+            let m = self.metrics.lock().expect("registry lock");
+            m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, metric) in snapshot {
+            let (base, labels) = split_labels(&name);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let (p50, p95, p99, max) = h.summary();
+                    for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                        out.push_str(&format!(
+                            "{base}{} {v}\n",
+                            with_label(labels, "quantile", q)
+                        ));
+                    }
+                    out.push_str(&format!("{base}_sum{labels} {}\n", h.sum()));
+                    out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
+                    out.push_str(&format!("{base}_max{labels} {max}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact single-line-per-metric JSON dump (sorted keys) for bench
+    /// artifacts. Histograms emit `{count, sum, max, p50, p95, p99}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let snapshot: Vec<(String, Metric)> = {
+            let m = self.metrics.lock().expect("registry lock");
+            m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = String::from("{");
+        for (i, (name, metric)) in snapshot.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  \"{}\": ", escape_json(name)));
+            match metric {
+                Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => out.push_str(&g.get().to_string()),
+                Metric::Histogram(h) => {
+                    let (p50, p95, p99, max) = h.summary();
+                    out.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"max\": {max}, \
+                         \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}}",
+                        h.count(),
+                        h.sum(),
+                    ));
+                }
+            }
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// Splits `name{l="v"}` into (`name`, `{l="v"}`); no labels → empty set.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// Inserts `key="value"` into an existing (possibly empty) label set.
+fn with_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{{{},{key}=\"{value}\"}}", &labels[1..labels.len() - 1])
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("ops_total");
+        let b = r.counter("ops_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("ops_total").get(), 3);
+    }
+
+    #[test]
+    fn render_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("b_total").add(2);
+        r.gauge("a_now").set(-5);
+        r.histogram("lat_nanos").record(100);
+        let text = r.render();
+        let a = text.find("a_now").unwrap();
+        let b = text.find("b_total").unwrap();
+        let l = text.find("lat_nanos").unwrap();
+        assert!(a < b && b < l, "{text}");
+        assert!(text.contains("# TYPE a_now gauge"));
+        assert!(text.contains("# TYPE b_total counter"));
+        assert!(text.contains("# TYPE lat_nanos summary"));
+        assert!(text.contains("lat_nanos{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_nanos_count 1"));
+    }
+
+    #[test]
+    fn labeled_histograms_merge_label_sets() {
+        let r = Registry::new();
+        r.histogram("rpc_nanos{service=\"nfs\"}").record(7);
+        let text = r.render();
+        assert!(
+            text.contains("rpc_nanos{service=\"nfs\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("rpc_nanos_count{service=\"nfs\"} 1"));
+    }
+
+    #[test]
+    fn json_dump_is_stable() {
+        let r = Registry::new();
+        r.counter("z_total").inc();
+        r.gauge("m_now").set(4);
+        let j1 = r.to_json();
+        let j2 = r.to_json();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"m_now\": 4"));
+        assert!(j1.contains("\"z_total\": 1"));
+        assert!(j1.find("m_now").unwrap() < j1.find("z_total").unwrap());
+    }
+}

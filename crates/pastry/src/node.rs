@@ -4,6 +4,7 @@
 use crate::messages::{NodeInfo, PastryReply, PastryRequest};
 use crate::state::{LeafSet, RoutingTable};
 use kosha_id::Id;
+use kosha_obs::{Counter, Histogram, Obs};
 use kosha_rpc::network::call_typed;
 use kosha_rpc::{Network, NodeAddr, RpcError, RpcHandler, RpcResponse, ServiceId};
 use parking_lot::{Mutex, RwLock};
@@ -127,6 +128,32 @@ pub struct PastryNode {
     net: Arc<dyn Network>,
     state: Mutex<State>,
     observers: RwLock<Vec<Arc<dyn OverlayObserver>>>,
+    obs: Arc<Obs>,
+    metrics: OverlayMetrics,
+}
+
+/// Pre-resolved overlay metric handles (see `DESIGN.md` §Observability).
+struct OverlayMetrics {
+    /// Hops taken by successful [`PastryNode::route`] calls.
+    route_hops: Arc<Histogram>,
+    /// Routes that exhausted the hop cap or ran out of live candidates.
+    route_failures: Arc<Counter>,
+    /// Duration of successful [`PastryNode::join`] calls, in nanoseconds
+    /// on the transport clock.
+    join_nanos: Arc<Histogram>,
+    /// Leaf-set repairs triggered by observed failures.
+    leaf_repairs: Arc<Counter>,
+}
+
+impl OverlayMetrics {
+    fn new(obs: &Obs) -> Self {
+        OverlayMetrics {
+            route_hops: obs.registry.histogram("pastry_route_hops"),
+            route_failures: obs.registry.counter("pastry_route_failures_total"),
+            join_nanos: obs.registry.histogram("pastry_join_nanos"),
+            leaf_repairs: obs.registry.counter("pastry_leaf_repairs_total"),
+        }
+    }
 }
 
 impl PastryNode {
@@ -134,7 +161,21 @@ impl PastryNode {
     /// The node participates once [`PastryNode::join`] has been called and
     /// the returned handler is registered for [`ServiceId::Pastry`].
     pub fn new(cfg: PastryConfig, id: Id, addr: NodeAddr, net: Arc<dyn Network>) -> Arc<Self> {
+        Self::new_with_obs(cfg, id, addr, net, Obs::new())
+    }
+
+    /// Like [`PastryNode::new`], but recording metrics and journal events
+    /// into a caller-supplied observability domain (the hosting `koshad`
+    /// shares one `Obs` across its layers so events correlate).
+    pub fn new_with_obs(
+        cfg: PastryConfig,
+        id: Id,
+        addr: NodeAddr,
+        net: Arc<dyn Network>,
+        obs: Arc<Obs>,
+    ) -> Arc<Self> {
         let info = NodeInfo { id, addr };
+        let metrics = OverlayMetrics::new(&obs);
         Arc::new(PastryNode {
             info,
             state: Mutex::new(State {
@@ -145,7 +186,25 @@ impl PastryNode {
             cfg,
             net,
             observers: RwLock::new(Vec::new()),
+            obs,
+            metrics,
         })
+    }
+
+    /// The observability domain this node records into.
+    #[must_use]
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    fn journal(&self, kind: &'static str, op_id: u64, detail: String) {
+        self.obs.journal.record(
+            self.net.clock().now().0,
+            self.info.addr.0,
+            kind,
+            op_id,
+            detail,
+        );
     }
 
     /// This node's overlay identity.
@@ -253,6 +312,13 @@ impl PastryNode {
                 obs.on_leaf_left(*n);
             }
         }
+        self.metrics.leaf_repairs.inc();
+        let op = self.obs.next_op_id();
+        self.journal(
+            "leaf_repair",
+            op,
+            format!("lost {} leaf member(s) at {addr}", removed.len()),
+        );
         self.repair_leafset_excluding(&[addr]);
     }
 
@@ -326,6 +392,8 @@ impl PastryNode {
         let Some(boot) = bootstrap else {
             return Ok(());
         };
+        let clock = self.net.clock();
+        let t0 = clock.now();
         // Identify the bootstrap node.
         let boot_info = match self.rpc(boot, &PastryRequest::Ping)? {
             PastryReply::Pong { node } => node,
@@ -399,6 +467,9 @@ impl PastryNode {
         for n in self.known_nodes() {
             let _ = self.rpc(n.addr, &PastryRequest::Announce { node: self.info });
         }
+        self.metrics.join_nanos.record(clock.now().since_nanos(t0));
+        let op = self.obs.next_op_id();
+        self.journal("join", op, format!("joined via {boot} after {hops} hop(s)"));
         Ok(())
     }
 
@@ -463,6 +534,15 @@ impl PastryNode {
     /// closest. Returns the owner and the number of overlay hops taken
     /// (0 when this node owns the key).
     pub fn route(&self, key: Id) -> Result<(NodeInfo, usize), OverlayError> {
+        let result = self.route_inner(key);
+        match &result {
+            Ok((_, hops)) => self.metrics.route_hops.record(*hops as u64),
+            Err(_) => self.metrics.route_failures.inc(),
+        }
+        result
+    }
+
+    fn route_inner(&self, key: Id) -> Result<(NodeInfo, usize), OverlayError> {
         let mut exclude: Vec<NodeAddr> = Vec::new();
         let mut hops = 0usize;
         let mut total = 0usize;
@@ -575,8 +655,8 @@ impl RpcHandler for PastryNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kosha_id::node_id_from_seed;
     use kosha_id::id::numerically_closest;
+    use kosha_id::node_id_from_seed;
     use kosha_rpc::{ServiceMux, SimNetwork};
 
     /// Builds an overlay of `n` nodes joined sequentially through node 0.
@@ -626,11 +706,7 @@ mod tests {
             let expect = expected_owner(&nodes, key, &[]);
             for n in &nodes {
                 let (owner, _) = n.route(key).unwrap();
-                assert_eq!(
-                    owner.id, expect,
-                    "node {} disagrees on key {k}",
-                    n.addr()
-                );
+                assert_eq!(owner.id, expect, "node {} disagrees on key {k}", n.addr());
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Per-node overlay state: the prefix routing table and the leaf set.
 
 use crate::messages::NodeInfo;
-use kosha_id::{Id, DIGIT_BASE, DIGITS};
+use kosha_id::{Id, DIGITS, DIGIT_BASE};
 use kosha_rpc::NodeAddr;
 use std::time::Duration;
 
@@ -65,7 +65,10 @@ impl RoutingTable {
                     }
                     Some(e) if e.info.id == node.id => {
                         // Refresh address/rtt for the same node.
-                        *entry = Some(RtEntry { info: node, rtt: rtt.or(e.rtt) });
+                        *entry = Some(RtEntry {
+                            info: node,
+                            rtt: rtt.or(e.rtt),
+                        });
                         false
                     }
                     Some(e) => {
@@ -178,9 +181,7 @@ impl LeafSet {
             return false;
         }
         let mut changed = false;
-        changed |= Self::insert_side(&mut self.cw, self.half, node, |n| {
-            self.me.cw_distance(n.id)
-        });
+        changed |= Self::insert_side(&mut self.cw, self.half, node, |n| self.me.cw_distance(n.id));
         changed |= Self::insert_side(&mut self.ccw, self.half, node, |n| {
             n.id.cw_distance(self.me)
         });

@@ -31,6 +31,13 @@ impl SimTime {
         Duration::from_nanos(self.0.saturating_sub(earlier.0))
     }
 
+    /// Elapsed nanoseconds since `earlier` (saturating) — the unit
+    /// latency histograms record.
+    #[must_use]
+    pub fn since_nanos(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
     /// This time plus `d`.
     #[must_use]
     pub fn plus(self, d: Duration) -> SimTime {
@@ -77,8 +84,7 @@ impl Clock for VirtualClock {
     }
 
     fn advance(&self, d: Duration) {
-        self.nanos
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 

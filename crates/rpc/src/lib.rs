@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+mod metrics;
 pub mod network;
 pub mod simnet;
 pub mod threadnet;

@@ -1,0 +1,103 @@
+//! Per-service transport metrics, shared by [`crate::SimNetwork`] and
+//! [`crate::ThreadedNetwork`].
+//!
+//! Both transports account every RPC to the same metric family, labeled
+//! by destination [`ServiceId`]:
+//!
+//! * `rpc_calls_total{service=...}` — attempts, including failures,
+//! * `rpc_local_calls_total{service=...}` — loopback (same-host) calls,
+//! * `rpc_failed_calls_total{service=...}` — calls that returned an
+//!   error (dead node, missing service, handler failure),
+//! * `rpc_bytes_total{service=...}` — request + response wire bytes,
+//! * `rpc_latency_nanos{service=...}` — round-trip latency histogram,
+//!   measured as a delta on the transport's own clock (virtual under
+//!   `SimNetwork`, so values are deterministic).
+//!
+//! Handles are resolved once at construction; the per-call path is a few
+//! relaxed atomic adds with no locking.
+
+use crate::network::ServiceId;
+use kosha_obs::{Counter, Histogram, Obs};
+use std::sync::Arc;
+
+/// Metric handles for one destination service.
+pub(crate) struct SvcMetrics {
+    pub calls: Arc<Counter>,
+    pub local: Arc<Counter>,
+    pub failed: Arc<Counter>,
+    pub bytes: Arc<Counter>,
+    pub latency: Arc<Histogram>,
+}
+
+/// All per-service handles plus the owning [`Obs`] domain.
+pub(crate) struct NetMetrics {
+    obs: Arc<Obs>,
+    per_service: Vec<SvcMetrics>,
+}
+
+impl NetMetrics {
+    pub fn new() -> Self {
+        let obs = Obs::new();
+        let per_service = ServiceId::ALL
+            .iter()
+            .map(|s| {
+                let l = s.name();
+                SvcMetrics {
+                    calls: obs
+                        .registry
+                        .counter(&format!("rpc_calls_total{{service=\"{l}\"}}")),
+                    local: obs
+                        .registry
+                        .counter(&format!("rpc_local_calls_total{{service=\"{l}\"}}")),
+                    failed: obs
+                        .registry
+                        .counter(&format!("rpc_failed_calls_total{{service=\"{l}\"}}")),
+                    bytes: obs
+                        .registry
+                        .counter(&format!("rpc_bytes_total{{service=\"{l}\"}}")),
+                    latency: obs
+                        .registry
+                        .histogram(&format!("rpc_latency_nanos{{service=\"{l}\"}}")),
+                }
+            })
+            .collect();
+        NetMetrics { obs, per_service }
+    }
+
+    /// The observability domain (for exposition and tests).
+    pub fn obs(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// Handles for one service.
+    pub fn svc(&self, s: ServiceId) -> &SvcMetrics {
+        &self.per_service[s.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_service_is_preregistered() {
+        let m = NetMetrics::new();
+        let names = m.obs().registry.names();
+        for s in ServiceId::ALL {
+            assert!(
+                names
+                    .iter()
+                    .any(|n| n.starts_with("rpc_calls_total") && n.contains(s.name())),
+                "missing calls metric for {s:?} in {names:?}"
+            );
+        }
+        m.svc(ServiceId::Nfs).calls.inc();
+        assert_eq!(
+            m.obs()
+                .registry
+                .counter("rpc_calls_total{service=\"nfs\"}")
+                .get(),
+            1
+        );
+    }
+}

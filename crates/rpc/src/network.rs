@@ -53,6 +53,30 @@ pub enum ServiceId {
 }
 
 impl ServiceId {
+    /// All services, in tag order (used to pre-register per-service
+    /// metrics so expositions list every service even before traffic).
+    pub const ALL: [ServiceId; 4] = [
+        ServiceId::Pastry,
+        ServiceId::Nfs,
+        ServiceId::Kosha,
+        ServiceId::KoshaFs,
+    ];
+
+    /// Stable lower-case label for metric names.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceId::Pastry => "pastry",
+            ServiceId::Nfs => "nfs",
+            ServiceId::Kosha => "kosha",
+            ServiceId::KoshaFs => "koshafs",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self.tag() as usize - 1
+    }
+
     fn tag(self) -> u8 {
         match self {
             ServiceId::Pastry => 1,
@@ -228,8 +252,7 @@ impl ServiceMux {
 /// threads).
 pub trait Network: Send + Sync {
     /// Performs a blocking RPC from `from` to `to`.
-    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest)
-        -> Result<RpcResponse, RpcError>;
+    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError>;
 
     /// The clock all participants share.
     fn clock(&self) -> Arc<dyn Clock>;

@@ -19,7 +19,9 @@
 //! configured timeout and returns [`RpcError::Unreachable`].
 
 use crate::clock::{Clock, VirtualClock};
+use crate::metrics::NetMetrics;
 use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceMux};
+use kosha_obs::Obs;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,6 +155,7 @@ pub struct SimNetwork {
     /// Optional coordinates per host for distance-dependent latency.
     coords: RwLock<HashMap<NodeAddr, (f64, f64)>>,
     stats: NetStats,
+    metrics: NetMetrics,
 }
 
 impl SimNetwork {
@@ -166,6 +169,7 @@ impl SimNetwork {
             down: RwLock::new(HashSet::new()),
             coords: RwLock::new(HashMap::new()),
             stats: NetStats::default(),
+            metrics: NetMetrics::new(),
         })
     }
 
@@ -228,6 +232,14 @@ impl SimNetwork {
         &self.stats
     }
 
+    /// Transport-level observability: per-service call/byte counters and
+    /// latency histograms (`rpc_*{service=...}`), timestamped on the
+    /// virtual clock so expositions are deterministic.
+    #[must_use]
+    pub fn obs(&self) -> Arc<Obs> {
+        self.metrics.obs()
+    }
+
     /// The latency model in force.
     #[must_use]
     pub fn model(&self) -> &LatencyModel {
@@ -248,13 +260,11 @@ impl SimNetwork {
 }
 
 impl Network for SimNetwork {
-    fn call(
-        &self,
-        from: NodeAddr,
-        to: NodeAddr,
-        req: RpcRequest,
-    ) -> Result<RpcResponse, RpcError> {
+    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError> {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        let svc = self.metrics.svc(req.service);
+        svc.calls.inc();
+        let start = self.clock.now();
 
         let is_down = self.down.read().contains(&to);
         let mux = if is_down {
@@ -266,13 +276,21 @@ impl Network for SimNetwork {
         let Some(mux) = mux else {
             self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
             self.clock.advance(self.model.timeout);
+            svc.failed.inc();
+            svc.latency.record(self.clock.now().since_nanos(start));
             return Err(RpcError::Unreachable(to));
         };
 
         if from == to {
             self.stats.local_calls.fetch_add(1, Ordering::Relaxed);
+            svc.local.inc();
             self.clock.advance(self.model.loopback_cost);
-            return mux.dispatch(from, &req);
+            let result = mux.dispatch(from, &req);
+            if result.is_err() {
+                svc.failed.inc();
+            }
+            svc.latency.record(self.clock.now().since_nanos(start));
+            return result;
         }
 
         let req_bytes = req.wire_size();
@@ -292,6 +310,11 @@ impl Network for SimNetwork {
         self.stats
             .bytes
             .fetch_add((req_bytes + resp_bytes) as u64, Ordering::Relaxed);
+        svc.bytes.add((req_bytes + resp_bytes) as u64);
+        if result.is_err() {
+            svc.failed.inc();
+        }
+        svc.latency.record(self.clock.now().since_nanos(start));
         result
     }
 

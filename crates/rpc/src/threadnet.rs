@@ -16,8 +16,10 @@
 //! such as `koshad(A) → … → koshad(A)`.
 
 use crate::clock::{Clock, WallClock};
+use crate::metrics::NetMetrics;
 use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use kosha_obs::Obs;
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -57,6 +59,7 @@ pub struct ThreadedNetwork {
     down: RwLock<HashSet<NodeAddr>>,
     /// How long callers wait for a reply before declaring the node dead.
     call_timeout: Duration,
+    metrics: NetMetrics,
 }
 
 impl ThreadedNetwork {
@@ -68,7 +71,16 @@ impl ThreadedNetwork {
             nodes: RwLock::new(HashMap::new()),
             down: RwLock::new(HashSet::new()),
             call_timeout,
+            metrics: NetMetrics::new(),
         })
+    }
+
+    /// Transport-level observability: per-service call/byte counters and
+    /// latency histograms (`rpc_*{service=...}`), timestamped on the
+    /// monotonic wall clock.
+    #[must_use]
+    pub fn obs(&self) -> Arc<Obs> {
+        self.metrics.obs()
     }
 
     /// Attaches a node, spawning one mailbox thread per registered
@@ -117,9 +129,7 @@ impl ThreadedNetwork {
         let removed: Vec<Mailbox> = {
             let mut nodes = self.nodes.write();
             let keys: Vec<_> = nodes.keys().filter(|(a, _)| *a == addr).copied().collect();
-            keys.into_iter()
-                .filter_map(|k| nodes.remove(&k))
-                .collect()
+            keys.into_iter().filter_map(|k| nodes.remove(&k)).collect()
         };
         for mb in removed {
             mb.stop();
@@ -147,18 +157,21 @@ impl Drop for ThreadedNetwork {
 }
 
 impl Network for ThreadedNetwork {
-    fn call(
-        &self,
-        from: NodeAddr,
-        to: NodeAddr,
-        req: RpcRequest,
-    ) -> Result<RpcResponse, RpcError> {
+    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError> {
+        let svc = self.metrics.svc(req.service);
+        svc.calls.inc();
+        let start = self.clock.now();
+        if from == to {
+            svc.local.inc();
+        }
         if self.down.read().contains(&to) {
+            svc.failed.inc();
             return Err(RpcError::Unreachable(to));
         }
         let tx = match self.nodes.read().get(&(to, req.service)) {
             Some(mb) => mb.tx.clone(),
             None => {
+                svc.failed.inc();
                 // Distinguish "node exists but lacks the service" from a
                 // dead node, mirroring SimNetwork semantics.
                 let node_known = self.nodes.read().keys().any(|(a, _)| *a == to);
@@ -169,6 +182,7 @@ impl Network for ThreadedNetwork {
                 });
             }
         };
+        let req_bytes = req.wire_size();
         let (rtx, rrx) = bounded(1);
         if tx
             .send(Mail::Request {
@@ -178,12 +192,19 @@ impl Network for ThreadedNetwork {
             })
             .is_err()
         {
+            svc.failed.inc();
             return Err(RpcError::Unreachable(to));
         }
-        match rrx.recv_timeout(self.call_timeout) {
+        let result = match rrx.recv_timeout(self.call_timeout) {
             Ok(resp) => resp,
             Err(_) => Err(RpcError::Unreachable(to)),
+        };
+        match &result {
+            Ok(resp) => svc.bytes.add((req_bytes + resp.wire_size()) as u64),
+            Err(_) => svc.failed.inc(),
         }
+        svc.latency.record(self.clock.now().since_nanos(start));
+        result
     }
 
     fn clock(&self) -> Arc<dyn Clock> {
@@ -191,8 +212,7 @@ impl Network for ThreadedNetwork {
     }
 
     fn is_up(&self, addr: NodeAddr) -> bool {
-        !self.down.read().contains(&addr)
-            && self.nodes.read().keys().any(|(a, _)| *a == addr)
+        !self.down.read().contains(&addr) && self.nodes.read().keys().any(|(a, _)| *a == addr)
     }
 }
 

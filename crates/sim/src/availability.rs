@@ -118,7 +118,11 @@ impl AvailabilityTrace {
     /// Mean machine availability over the whole trace.
     #[must_use]
     pub fn mean_availability(&self) -> f64 {
-        let total: usize = self.up.iter().map(|h| h.iter().filter(|&&b| b).count()).sum();
+        let total: usize = self
+            .up
+            .iter()
+            .map(|h| h.iter().filter(|&&b| b).count())
+            .sum();
         total as f64 / (self.up.len() * self.up[0].len()) as f64
     }
 

@@ -76,9 +76,7 @@ impl Workbench for CachedKoshaMount {
                     }
                     fh
                 }
-                Err(NfsError::Status(NfsStatus::NoEnt)) => {
-                    self.cc.mkdir(cur, c, 0o755, 0, 0)?.0
-                }
+                Err(NfsError::Status(NfsStatus::NoEnt)) => self.cc.mkdir(cur, c, 0o755, 0, 0)?.0,
                 Err(e) => return Err(e),
             };
         }

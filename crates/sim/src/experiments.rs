@@ -286,9 +286,11 @@ impl Fig5 {
     pub fn run(levels: std::ops::RangeInclusive<usize>, runs: u64, scale: f64) -> Self {
         let trace = FsTrace::generate(&TraceParams::default().scaled(scale));
         let avg = |stats: &[BalanceStats]| BalanceStats {
-            files_mean_pct: stats.iter().map(|s| s.files_mean_pct).sum::<f64>() / stats.len() as f64,
+            files_mean_pct: stats.iter().map(|s| s.files_mean_pct).sum::<f64>()
+                / stats.len() as f64,
             files_std_pct: stats.iter().map(|s| s.files_std_pct).sum::<f64>() / stats.len() as f64,
-            bytes_mean_pct: stats.iter().map(|s| s.bytes_mean_pct).sum::<f64>() / stats.len() as f64,
+            bytes_mean_pct: stats.iter().map(|s| s.bytes_mean_pct).sum::<f64>()
+                / stats.len() as f64,
             bytes_std_pct: stats.iter().map(|s| s.bytes_std_pct).sum::<f64>() / stats.len() as f64,
         };
         let mut rows = Vec::new();

@@ -76,7 +76,11 @@ impl MabParams {
         if self.root != "/" {
             out.push(self.root.clone());
         }
-        let prefix = if self.root == "/" { "" } else { self.root.as_str() };
+        let prefix = if self.root == "/" {
+            ""
+        } else {
+            self.root.as_str()
+        };
         let mut frontier: Vec<String> = Vec::new();
         for t in 0..self.top_dirs {
             let d = format!("{prefix}/mabd{t}");
@@ -234,10 +238,7 @@ pub fn run_mab(
     }
     clock.advance(params.compile_cpu_per_kib * (bin_size.div_ceil(1024)) as u32);
     let link_dir = params.dirs().into_iter().next().expect("at least one dir");
-    fs.write_file(
-        &format!("{link_dir}/a.out"),
-        &vec![b'b'; bin_size as usize],
-    )?;
+    fs.write_file(&format!("{link_dir}/a.out"), &vec![b'b'; bin_size as usize])?;
     let compile = clock.now().since(t0);
 
     Ok(MabTimes {

@@ -166,11 +166,7 @@ fn files_name_of(ops: &[ReplayOp]) -> String {
 
 /// Replays `ops` against `fs`, timing on `clock`. The target tree (dirs
 /// and files of `trace`) must already be populated.
-pub fn replay(
-    ops: &[ReplayOp],
-    fs: &dyn Workbench,
-    clock: &Arc<VirtualClock>,
-) -> ReplayReport {
+pub fn replay(ops: &[ReplayOp], fs: &dyn Workbench, clock: &Arc<VirtualClock>) -> ReplayReport {
     let start = clock.now();
     let mut rep = ReplayReport::default();
     for op in ops {

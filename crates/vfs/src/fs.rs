@@ -182,7 +182,11 @@ impl Vfs {
     /// `(capacity, used, free)` in bytes.
     #[must_use]
     pub fn fsstat(&self) -> (u64, u64, u64) {
-        (self.capacity, self.used, self.capacity.saturating_sub(self.used))
+        (
+            self.capacity,
+            self.used,
+            self.capacity.saturating_sub(self.used),
+        )
     }
 
     /// Bytes currently charged against the quota.
@@ -463,7 +467,15 @@ impl Vfs {
         uid: u32,
         gid: u32,
     ) -> Result<(FileId, Attr), VfsError> {
-        self.insert_child(dir, name, Kind::File(Payload::Bytes(Vec::new())), mode, uid, gid, 0)
+        self.insert_child(
+            dir,
+            name,
+            Kind::File(Payload::Bytes(Vec::new())),
+            mode,
+            uid,
+            gid,
+            0,
+        )
     }
 
     /// Creates a sparse file of `size` bytes: charges quota, stores no
@@ -478,7 +490,15 @@ impl Vfs {
         uid: u32,
         gid: u32,
     ) -> Result<(FileId, Attr), VfsError> {
-        self.insert_child(dir, name, Kind::File(Payload::Sparse(size)), mode, uid, gid, size)
+        self.insert_child(
+            dir,
+            name,
+            Kind::File(Payload::Sparse(size)),
+            mode,
+            uid,
+            gid,
+            size,
+        )
     }
 
     /// Creates a directory.
@@ -526,7 +546,15 @@ impl Vfs {
         uid: u32,
         gid: u32,
     ) -> Result<(FileId, Attr), VfsError> {
-        self.insert_child(dir, name, Kind::Symlink(target.to_string()), mode, uid, gid, 0)
+        self.insert_child(
+            dir,
+            name,
+            Kind::Symlink(target.to_string()),
+            mode,
+            uid,
+            gid,
+            0,
+        )
     }
 
     /// Reads a symlink's target.
@@ -541,7 +569,12 @@ impl Vfs {
 
     /// Reads up to `count` bytes at `offset`; returns the data and an EOF
     /// flag. Sparse files read as zeros.
-    pub fn read(&mut self, id: FileId, offset: u64, count: u32) -> Result<(Vec<u8>, bool), VfsError> {
+    pub fn read(
+        &mut self,
+        id: FileId,
+        offset: u64,
+        count: u32,
+    ) -> Result<(Vec<u8>, bool), VfsError> {
         let now = self.now;
         let inode = self.get_mut(id)?;
         let payload = match &inode.kind {
@@ -868,12 +901,7 @@ impl Vfs {
         Ok(out)
     }
 
-    fn export_ino(
-        &self,
-        ino: Ino,
-        rel: String,
-        out: &mut Vec<ExportItem>,
-    ) -> Result<(), VfsError> {
+    fn export_ino(&self, ino: Ino, rel: String, out: &mut Vec<ExportItem>) -> Result<(), VfsError> {
         let inode = self.inodes.get(&ino).ok_or(VfsError::Stale)?;
         let kind = match &inode.kind {
             Kind::Dir(_) => ExportKind::Dir,
@@ -1055,7 +1083,9 @@ mod tests {
     fn symlink_round_trip() {
         let mut v = fs();
         let root = v.root();
-        let (l, attr) = v.symlink(root, "sdirm", "sdirm#1774", 0o1777, 0, 0).unwrap();
+        let (l, attr) = v
+            .symlink(root, "sdirm", "sdirm#1774", 0o1777, 0, 0)
+            .unwrap();
         assert_eq!(attr.ftype, FileType::Symlink);
         assert_eq!(v.readlink(l).unwrap(), "sdirm#1774");
         let (f, _) = v.create(root, "plain", 0o644, 0, 0).unwrap();

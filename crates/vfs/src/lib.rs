@@ -30,6 +30,8 @@ pub mod inode;
 pub mod path;
 
 pub use error::VfsError;
-pub use fs::{DirEntry, ExportItem, ExportKind, SetAttr, Vfs, ACCESS_EXEC, ACCESS_READ, ACCESS_WRITE};
+pub use fs::{
+    DirEntry, ExportItem, ExportKind, SetAttr, Vfs, ACCESS_EXEC, ACCESS_READ, ACCESS_WRITE,
+};
 pub use inode::{Attr, FileId, FileType, Ino};
 pub use path::{join_path, normalize, split_path};

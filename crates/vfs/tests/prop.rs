@@ -7,28 +7,72 @@ use proptest::prelude::*;
 /// A random filesystem operation over a small namespace.
 #[derive(Debug, Clone)]
 enum Op {
-    Create { dir: u8, name: u8 },
-    Mkdir { dir: u8, name: u8 },
-    Write { dir: u8, name: u8, offset: u16, len: u16 },
-    Truncate { dir: u8, name: u8, size: u16 },
-    Remove { dir: u8, name: u8 },
-    Rmdir { dir: u8, name: u8 },
-    Rename { sdir: u8, sname: u8, ddir: u8, dname: u8 },
-    Symlink { dir: u8, name: u8 },
+    Create {
+        dir: u8,
+        name: u8,
+    },
+    Mkdir {
+        dir: u8,
+        name: u8,
+    },
+    Write {
+        dir: u8,
+        name: u8,
+        offset: u16,
+        len: u16,
+    },
+    Truncate {
+        dir: u8,
+        name: u8,
+        size: u16,
+    },
+    Remove {
+        dir: u8,
+        name: u8,
+    },
+    Rmdir {
+        dir: u8,
+        name: u8,
+    },
+    Rename {
+        sdir: u8,
+        sname: u8,
+        ddir: u8,
+        dname: u8,
+    },
+    Symlink {
+        dir: u8,
+        name: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Create { dir, name }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Mkdir { dir, name }),
-        (any::<u8>(), any::<u8>(), any::<u16>(), 0u16..2048)
-            .prop_map(|(dir, name, offset, len)| Op::Write { dir, name, offset, len }),
-        (any::<u8>(), any::<u8>(), any::<u16>())
-            .prop_map(|(dir, name, size)| Op::Truncate { dir, name, size }),
+        (any::<u8>(), any::<u8>(), any::<u16>(), 0u16..2048).prop_map(
+            |(dir, name, offset, len)| Op::Write {
+                dir,
+                name,
+                offset,
+                len
+            }
+        ),
+        (any::<u8>(), any::<u8>(), any::<u16>()).prop_map(|(dir, name, size)| Op::Truncate {
+            dir,
+            name,
+            size
+        }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Remove { dir, name }),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Rmdir { dir, name }),
-        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(sdir, sname, ddir, dname)| Op::Rename { sdir, sname, ddir, dname }),
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+            |(sdir, sname, ddir, dname)| Op::Rename {
+                sdir,
+                sname,
+                ddir,
+                dname
+            }
+        ),
         (any::<u8>(), any::<u8>()).prop_map(|(dir, name)| Op::Symlink { dir, name }),
     ]
 }

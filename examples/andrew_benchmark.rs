@@ -37,7 +37,10 @@ fn main() {
         run_mab(&params, &m, &clock).expect("kosha")
     };
 
-    println!("{:<10} {:>10} {:>12} {:>9}", "phase", "NFS (s)", "Kosha-8 (s)", "ovhd %");
+    println!(
+        "{:<10} {:>10} {:>12} {:>9}",
+        "phase", "NFS (s)", "Kosha-8 (s)", "ovhd %"
+    );
     let rows = [
         ("mkdir", nfs.mkdir, kosha.mkdir),
         ("copy", nfs.copy, kosha.copy),

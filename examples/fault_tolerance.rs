@@ -19,8 +19,12 @@ fn main() {
     let mut nodes = Vec::new();
     for i in 0..6u64 {
         let id = node_id_from_seed(&format!("ft-host-{i}"));
-        let (node, mux) =
-            KoshaNode::build(cfg.clone(), id, NodeAddr(i), net.clone() as Arc<dyn Network>);
+        let (node, mux) = KoshaNode::build(
+            cfg.clone(),
+            id,
+            NodeAddr(i),
+            net.clone() as Arc<dyn Network>,
+        );
         net.attach(node.addr(), mux);
         node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
             .unwrap();

@@ -24,8 +24,12 @@ fn main() {
     let mut nodes = Vec::new();
     for i in 0..nodes_count {
         let id = node_id_from_seed(&format!("lab-pc-{i}"));
-        let (node, mux) =
-            KoshaNode::build(cfg.clone(), id, NodeAddr(i), net.clone() as Arc<dyn Network>);
+        let (node, mux) = KoshaNode::build(
+            cfg.clone(),
+            id,
+            NodeAddr(i),
+            net.clone() as Arc<dyn Network>,
+        );
         net.attach(node.addr(), mux);
         node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
             .unwrap();
@@ -54,7 +58,10 @@ fn main() {
     );
 
     // Per-node load report (primary bytes in each node's store).
-    println!("{:<10} {:>12} {:>12} {:>8}", "machine", "objects", "bytes", "share%");
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "machine", "objects", "bytes", "share%"
+    );
     let mut totals = Vec::new();
     for node in &nodes {
         let mut bytes = 0u64;

@@ -23,7 +23,12 @@ fn main() {
     let mut nodes = Vec::new();
     for i in 0..8u64 {
         let id = node_id_from_seed(&format!("desktop-{i}"));
-        let (node, mux) = KoshaNode::build(cfg.clone(), id, NodeAddr(i), net.clone() as Arc<dyn Network>);
+        let (node, mux) = KoshaNode::build(
+            cfg.clone(),
+            id,
+            NodeAddr(i),
+            net.clone() as Arc<dyn Network>,
+        );
         net.attach(node.addr(), mux);
         node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
             .expect("join overlay");
@@ -53,7 +58,10 @@ fn main() {
     for node in &nodes {
         for (path, routing) in node.hosted_anchors() {
             if path != "/" {
-                println!("  anchor {path:<24} (key '{routing}') lives on {}", node.addr());
+                println!(
+                    "  anchor {path:<24} (key '{routing}') lives on {}",
+                    node.addr()
+                );
             }
         }
     }

@@ -44,7 +44,10 @@ fn main() {
         .sum::<f64>()
         / forty_plus as f64;
 
-    println!("Synthetic survey of {} instructional machines", machines.len());
+    println!(
+        "Synthetic survey of {} instructional machines",
+        machines.len()
+    );
     println!("  total disk:          {total_disk:9.0} GB");
     println!("  locally used:        {total_used:9.0} GB");
     println!("  unused (harvestable):{unused:9.0} GB");

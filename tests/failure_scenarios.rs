@@ -139,7 +139,8 @@ fn churn_nodes_joining_while_operating() {
     let m = r.mount(0);
     for i in 0..6 {
         m.mkdir_p(&format!("/churn{i}")).unwrap();
-        m.write_file(&format!("/churn{i}/f"), &[i as u8; 512]).unwrap();
+        m.write_file(&format!("/churn{i}/f"), &[i as u8; 512])
+            .unwrap();
     }
     // Five newcomers join while the client keeps writing.
     let cfg = KoshaConfig {
@@ -181,7 +182,8 @@ fn purged_node_loses_data_but_cluster_recovers_from_replicas() {
     let r = rig(6, 2);
     let m = r.mount(0);
     m.mkdir_p("/purge").unwrap();
-    m.write_file("/purge/f", b"replicated before purge").unwrap();
+    m.write_file("/purge/f", b"replicated before purge")
+        .unwrap();
 
     // Reincarnate the primary: purge its disk entirely (§4.3: "all Kosha
     // data on a revived node is purged").
@@ -196,10 +198,7 @@ fn purged_node_loses_data_but_cluster_recovers_from_replicas() {
     primary.purge();
     // The next access finds the store empty, fails over to a replica
     // holder via the overlay, and the data survives.
-    assert_eq!(
-        m.read_file("/purge/f").unwrap(),
-        b"replicated before purge"
-    );
+    assert_eq!(m.read_file("/purge/f").unwrap(), b"replicated before purge");
 }
 
 #[test]
@@ -210,7 +209,8 @@ fn reincarnation_with_a_new_identity() {
     let r = rig(6, 2);
     let m = r.mount(0);
     m.mkdir_p("/perm").unwrap();
-    m.write_file("/perm/data", b"must survive reincarnation").unwrap();
+    m.write_file("/perm/data", b"must survive reincarnation")
+        .unwrap();
 
     // Pick a non-gateway machine and reincarnate it: crash, purge its
     // disk, replace its daemon with one under a brand-new identifier.
@@ -235,12 +235,8 @@ fn reincarnation_with_a_new_identity() {
     };
     let new_id = node_id_from_seed("reincarnated-host");
     assert_ne!(new_id, r.nodes[victim_idx].id());
-    let (reborn, mux) = KoshaNode::build(
-        cfg,
-        new_id,
-        victim_addr,
-        r.net.clone() as Arc<dyn Network>,
-    );
+    let (reborn, mux) =
+        KoshaNode::build(cfg, new_id, victim_addr, r.net.clone() as Arc<dyn Network>);
     r.net.attach(victim_addr, mux); // replaces the old registration
     reborn.join(Some(r.nodes[0].addr())).unwrap();
     for n in r.nodes.iter().filter(|n| n.addr() != victim_addr) {

@@ -28,9 +28,7 @@ fn kosha_cluster() -> SimCluster {
 }
 
 /// Normalizes an outcome for comparison: success payload or the status.
-fn norm<T: PartialEq + std::fmt::Debug>(
-    r: Result<T, NfsError>,
-) -> Result<T, Option<NfsStatus>> {
+fn norm<T: PartialEq + std::fmt::Debug>(r: Result<T, NfsError>) -> Result<T, Option<NfsStatus>> {
     r.map_err(|e| match e {
         NfsError::Status(s) => Some(s),
         NfsError::Rpc(_) => None,
@@ -47,19 +45,35 @@ fn identical_results_for_a_scripted_session() {
     type Step = fn(&dyn Workbench) -> Result<String, NfsError>;
     let steps: Vec<Step> = vec![
         |fs| fs.mkdir_p("/proj/src").map(|_| "ok".into()),
-        |fs| fs.write_file("/proj/src/a.rs", b"fn a() {}").map(|_| "ok".into()),
-        |fs| fs.write_file("/proj/src/b.rs", b"fn b() {}").map(|_| "ok".into()),
+        |fs| {
+            fs.write_file("/proj/src/a.rs", b"fn a() {}")
+                .map(|_| "ok".into())
+        },
+        |fs| {
+            fs.write_file("/proj/src/b.rs", b"fn b() {}")
+                .map(|_| "ok".into())
+        },
         |fs| fs.read_file("/proj/src/a.rs").map(|d| format!("{d:?}")),
         |fs| fs.read_file("/proj/missing").map(|d| format!("{d:?}")),
-        |fs| fs.stat("/proj/src/b.rs").map(|a| format!("{}:{:?}", a.size, a.ftype)),
+        |fs| {
+            fs.stat("/proj/src/b.rs")
+                .map(|a| format!("{}:{:?}", a.size, a.ftype))
+        },
         |fs| fs.stat("/proj").map(|a| format!("{:?}", a.ftype)),
         |fs| {
-            fs.readdir("/proj/src")
-                .map(|v| v.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>().join(","))
+            fs.readdir("/proj/src").map(|v| {
+                v.iter()
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
         },
         |fs| fs.read_file("/proj").map(|d| format!("{d:?}")), // IsDir
         |fs| fs.mkdir_p("/proj/src/a.rs/x").map(|_| "ok".into()), // NotDir
-        |fs| fs.write_file("/proj/src/a.rs", b"fn a2() {}").map(|_| "ok".into()),
+        |fs| {
+            fs.write_file("/proj/src/a.rs", b"fn a2() {}")
+                .map(|_| "ok".into())
+        },
         |fs| fs.read_file("/proj/src/a.rs").map(|d| format!("{d:?}")),
     ];
 
