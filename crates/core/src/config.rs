@@ -45,6 +45,11 @@ pub struct KoshaConfig {
     /// replicas"). Selection is round-robin over primary + replicas with
     /// transparent fallback to the primary.
     pub read_from_replicas: bool,
+    /// Resolve paths with the compound LOOKUPPATH extension: one RPC per
+    /// *server* along the walk instead of one per component. Disabling it
+    /// restores the per-component NFSv3 walk of Section 4.1.3 (the
+    /// benchmark baseline).
+    pub compound_lookup: bool,
     /// Per-operation cost of the koshad user-level loopback server — the
     /// "constant overhead introduced by the interposition code" (`I` in
     /// the Section 6.1.2 model). The prototype's SFS-toolkit loopback
@@ -67,6 +72,7 @@ impl Default for KoshaConfig {
             disk_bandwidth_bps: 40_000_000,
             disk_meta_op: Duration::from_micros(120),
             read_from_replicas: false,
+            compound_lookup: true,
             koshad_op_cost: Duration::from_micros(350),
         }
     }
@@ -88,6 +94,7 @@ impl KoshaConfig {
             disk_bandwidth_bps: u64::MAX,
             disk_meta_op: Duration::ZERO,
             read_from_replicas: false,
+            compound_lookup: true,
             koshad_op_cost: Duration::ZERO,
         }
     }

@@ -270,6 +270,226 @@ pub enum KoshaRequest {
         /// Virtual path whose covering anchor's replicas are wanted.
         path: String,
     },
+    /// Replica maintenance (served on `ServiceId::KoshaReplica`): replace
+    /// the receiver's replica copy of `path` with the batched subtree in
+    /// one round trip, bracketed by the `MIGRATION_NOT_COMPLETE` flag.
+    MigrateBatch {
+        /// Anchor virtual path.
+        path: String,
+        /// The full subtree, in parent-before-child order.
+        items: Vec<MigrateItem>,
+    },
+    /// Replica maintenance (served on `ServiceId::KoshaReplica`): apply
+    /// one mutation to the receiver's replica area. The primary fans the
+    /// same op out to all K replica holders concurrently. Handlers touch
+    /// only local state — no nested RPCs — so concurrent fan-outs
+    /// between primaries cannot form call cycles.
+    ReplicaApply {
+        /// The mutation, mirroring the primary's own store change.
+        op: ReplicaOp,
+    },
+}
+
+/// One replicated mutation, shipped by the primary to each replica
+/// holder after it has applied the change to its own store (§4.2).
+/// Paths are full virtual paths; the receiver derives the covering
+/// anchor (and thus the replica-area slot) itself, and treats already-
+/// done outcomes (`Exist` on creates, `NoEnt` on removes) as success so
+/// replays are idempotent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaOp {
+    /// Ensure the replica directory for `path` (a directory) exists.
+    Mkdir {
+        /// Virtual path of the directory.
+        path: String,
+    },
+    /// Create a regular (or sparse, when `size` is set) file.
+    Create {
+        /// Virtual path of the file.
+        path: String,
+        /// Permission bits.
+        mode: u32,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+        /// Sparse size, if any.
+        size: Option<u64>,
+    },
+    /// Create a symlink (special or user-level; `mode` distinguishes).
+    Symlink {
+        /// Virtual path of the link.
+        path: String,
+        /// Link target.
+        target: String,
+        /// Permission bits (sticky bit marks special links).
+        mode: u32,
+        /// Owner uid.
+        uid: u32,
+        /// Owner gid.
+        gid: u32,
+    },
+    /// Write data (creating the file if the replica lacks it).
+    Write {
+        /// Virtual path of the file.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Data.
+        data: Vec<u8>,
+    },
+    /// Update attributes.
+    SetAttr {
+        /// Virtual path.
+        path: String,
+        /// Attribute changes.
+        sattr: WireSetAttr,
+    },
+    /// Remove a file or symlink.
+    Remove {
+        /// Virtual path.
+        path: String,
+    },
+    /// Remove an empty directory.
+    Rmdir {
+        /// Virtual path.
+        path: String,
+    },
+    /// Drop the whole replica copy of an anchor (anchor teardown).
+    RemoveSlot {
+        /// Anchor virtual path.
+        anchor: String,
+    },
+    /// Rename an entry (both paths under anchors this replica mirrors).
+    Rename {
+        /// Source virtual path.
+        from: String,
+        /// Destination virtual path.
+        to: String,
+    },
+    /// Rename an anchor's replica slot (anchor directory rename).
+    RenameSlot {
+        /// Current anchor virtual path.
+        from: String,
+        /// New anchor virtual path.
+        to: String,
+    },
+}
+
+impl WireWrite for ReplicaOp {
+    fn write(&self, w: &mut Writer) {
+        match self {
+            ReplicaOp::Mkdir { path } => {
+                w.u8(0);
+                w.string(path);
+            }
+            ReplicaOp::Create {
+                path,
+                mode,
+                uid,
+                gid,
+                size,
+            } => {
+                w.u8(1);
+                w.string(path);
+                w.u32(*mode);
+                w.u32(*uid);
+                w.u32(*gid);
+                w.option(size);
+            }
+            ReplicaOp::Symlink {
+                path,
+                target,
+                mode,
+                uid,
+                gid,
+            } => {
+                w.u8(2);
+                w.string(path);
+                w.string(target);
+                w.u32(*mode);
+                w.u32(*uid);
+                w.u32(*gid);
+            }
+            ReplicaOp::Write { path, offset, data } => {
+                w.u8(3);
+                w.string(path);
+                w.u64(*offset);
+                w.bytes(data);
+            }
+            ReplicaOp::SetAttr { path, sattr } => {
+                w.u8(4);
+                w.string(path);
+                w.value(sattr);
+            }
+            ReplicaOp::Remove { path } => {
+                w.u8(5);
+                w.string(path);
+            }
+            ReplicaOp::Rmdir { path } => {
+                w.u8(6);
+                w.string(path);
+            }
+            ReplicaOp::RemoveSlot { anchor } => {
+                w.u8(7);
+                w.string(anchor);
+            }
+            ReplicaOp::Rename { from, to } => {
+                w.u8(8);
+                w.string(from);
+                w.string(to);
+            }
+            ReplicaOp::RenameSlot { from, to } => {
+                w.u8(9);
+                w.string(from);
+                w.string(to);
+            }
+        }
+    }
+}
+impl WireRead for ReplicaOp {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ReplicaOp::Mkdir { path: r.string()? },
+            1 => ReplicaOp::Create {
+                path: r.string()?,
+                mode: r.u32()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+                size: r.option()?,
+            },
+            2 => ReplicaOp::Symlink {
+                path: r.string()?,
+                target: r.string()?,
+                mode: r.u32()?,
+                uid: r.u32()?,
+                gid: r.u32()?,
+            },
+            3 => ReplicaOp::Write {
+                path: r.string()?,
+                offset: r.u64()?,
+                data: r.bytes()?,
+            },
+            4 => ReplicaOp::SetAttr {
+                path: r.string()?,
+                sattr: r.value()?,
+            },
+            5 => ReplicaOp::Remove { path: r.string()? },
+            6 => ReplicaOp::Rmdir { path: r.string()? },
+            7 => ReplicaOp::RemoveSlot {
+                anchor: r.string()?,
+            },
+            8 => ReplicaOp::Rename {
+                from: r.string()?,
+                to: r.string()?,
+            },
+            9 => ReplicaOp::RenameSlot {
+                from: r.string()?,
+                to: r.string()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
 }
 
 impl WireWrite for KoshaRequest {
@@ -401,6 +621,15 @@ impl WireWrite for KoshaRequest {
                 w.u8(19);
                 w.string(path);
             }
+            KoshaRequest::MigrateBatch { path, items } => {
+                w.u8(20);
+                w.string(path);
+                w.seq(items);
+            }
+            KoshaRequest::ReplicaApply { op } => {
+                w.u8(21);
+                w.value(op);
+            }
         }
     }
 }
@@ -477,6 +706,11 @@ impl WireRead for KoshaRequest {
             },
             18 => KoshaRequest::ListAnchors,
             19 => KoshaRequest::ReplicaTargets { path: r.string()? },
+            20 => KoshaRequest::MigrateBatch {
+                path: r.string()?,
+                items: r.seq()?,
+            },
+            21 => KoshaRequest::ReplicaApply { op: r.value()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -707,6 +941,32 @@ mod tests {
             },
             KoshaRequest::ListAnchors,
             KoshaRequest::ReplicaTargets { path: "/a".into() },
+            KoshaRequest::MigrateBatch {
+                path: "/a".into(),
+                items: vec![
+                    MigrateItem {
+                        rel_path: "d".into(),
+                        kind: MigrateKind::Dir,
+                        mode: 0o755,
+                        uid: 1,
+                        gid: 2,
+                    },
+                    MigrateItem {
+                        rel_path: "d/f".into(),
+                        kind: MigrateKind::Bytes(vec![5; 3]),
+                        mode: 0o644,
+                        uid: 1,
+                        gid: 2,
+                    },
+                ],
+            },
+            KoshaRequest::ReplicaApply {
+                op: ReplicaOp::Write {
+                    path: "/a/f".into(),
+                    offset: 4,
+                    data: vec![9, 8],
+                },
+            },
         ];
         for req in reqs {
             let b = req.encode();
@@ -734,6 +994,62 @@ mod tests {
         ] {
             let b = frame.encode();
             assert_eq!(KoshaReplyFrame::decode(&b).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn replica_ops_round_trip() {
+        let ops = vec![
+            ReplicaOp::Mkdir {
+                path: "/a/d".into(),
+            },
+            ReplicaOp::Create {
+                path: "/a/f".into(),
+                mode: 0o644,
+                uid: 1,
+                gid: 2,
+                size: Some(64),
+            },
+            ReplicaOp::Symlink {
+                path: "/a/l".into(),
+                target: "t#1".into(),
+                mode: 0o1777,
+                uid: 0,
+                gid: 0,
+            },
+            ReplicaOp::Write {
+                path: "/a/f".into(),
+                offset: 0,
+                data: vec![1],
+            },
+            ReplicaOp::SetAttr {
+                path: "/a/f".into(),
+                sattr: WireSetAttr(SetAttr {
+                    size: Some(2),
+                    ..Default::default()
+                }),
+            },
+            ReplicaOp::Remove {
+                path: "/a/f".into(),
+            },
+            ReplicaOp::Rmdir {
+                path: "/a/d".into(),
+            },
+            ReplicaOp::RemoveSlot {
+                anchor: "/a".into(),
+            },
+            ReplicaOp::Rename {
+                from: "/a/x".into(),
+                to: "/a/y".into(),
+            },
+            ReplicaOp::RenameSlot {
+                from: "/a".into(),
+                to: "/b".into(),
+            },
+        ];
+        for op in ops {
+            let b = op.encode();
+            assert_eq!(ReplicaOp::decode(&b).unwrap(), op);
         }
     }
 

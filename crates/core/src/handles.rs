@@ -131,6 +131,26 @@ impl HandleTable {
         }
     }
 
+    /// Drops cached locations along one path's resolution chain: `path`
+    /// itself, its ancestors, and its descendants. Entries on unrelated
+    /// branches keep their locations, so one poisoned chain does not
+    /// force the whole table to re-resolve (contrast
+    /// [`HandleTable::clear_locations_everywhere`]).
+    pub fn clear_locations_chain(&mut self, path: &str) {
+        if path == "/" {
+            self.clear_locations_everywhere();
+            return;
+        }
+        let descendant_prefix = format!("{path}/");
+        for e in self.entries.values_mut() {
+            let p = e.path.as_str();
+            let is_ancestor = p == "/" || path.starts_with(&format!("{p}/"));
+            if is_ancestor || p == path || p.starts_with(&descendant_prefix) {
+                e.loc = None;
+            }
+        }
+    }
+
     /// Drops every cached location pointing at a failed node.
     pub fn clear_locations_at(&mut self, addr: NodeAddr) {
         for e in self.entries.values_mut() {
@@ -237,6 +257,33 @@ mod tests {
         assert_eq!(t.get(fh).unwrap().loc, Some(loc));
         t.clear_locations_at(NodeAddr(3));
         assert_eq!(t.get(fh).unwrap().loc, None);
+    }
+
+    #[test]
+    fn clear_locations_chain_spares_unrelated_branches() {
+        let mut t = HandleTable::new();
+        let loc = Location {
+            addr: NodeAddr(3),
+            fh: Fh { ino: 9, gen: 1 },
+        };
+        let root = t.root();
+        let ancestor = t.mint("/a", FileType::Directory);
+        let target = t.mint("/a/b", FileType::Directory);
+        let child = t.mint("/a/b/f", FileType::Regular);
+        let sibling = t.mint("/a/c", FileType::Regular);
+        let prefix_trap = t.mint("/a/bc", FileType::Regular);
+        for fh in [root, ancestor, target, child, sibling, prefix_trap] {
+            t.set_location(fh, loc);
+        }
+        t.clear_locations_chain("/a/b");
+        // The chain (root, ancestor, self, descendant) is dropped...
+        for fh in [root, ancestor, target, child] {
+            assert_eq!(t.get(fh).unwrap().loc, None);
+        }
+        // ...while the sibling and the /a/bc prefix trap survive.
+        for fh in [sibling, prefix_trap] {
+            assert_eq!(t.get(fh).unwrap().loc, Some(loc));
+        }
     }
 
     #[test]

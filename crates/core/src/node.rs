@@ -12,7 +12,7 @@ use kosha_vfs::Vfs;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::{Arc, Weak};
 
 /// Client-side (interposition) state: the virtual handle table and the
@@ -49,6 +49,10 @@ pub struct KoshaNode {
     pub(crate) read_rr: std::sync::atomic::AtomicU64,
     /// Operational counters (handles into `obs`'s registry).
     pub(crate) stats: KoshaStats,
+    /// Replica targets whose last mirror attempt failed (already
+    /// journaled). A later success clears the entry so a fresh failure
+    /// episode is journaled again.
+    pub(crate) mirror_failed: Mutex<HashSet<NodeAddr>>,
     /// Per-node observability domain, shared by this koshad's overlay
     /// endpoint, NFS server/client, and interposition layer so their
     /// metrics and journal events correlate.
@@ -57,6 +61,10 @@ pub struct KoshaNode {
 
 /// Handler wrapper for the Kosha control service.
 pub(crate) struct ControlService(pub Arc<KoshaNode>);
+/// Handler wrapper for the replica-maintenance service (a leaf service:
+/// it only mutates the local replica area, never issuing nested RPCs, so
+/// primaries can fan out to each other concurrently without deadlock).
+pub(crate) struct ReplicaService(pub Arc<KoshaNode>);
 /// Handler wrapper for the koshad loopback (virtual `/kosha`) NFS server.
 pub(crate) struct VirtualFs(pub Arc<KoshaNode>);
 
@@ -117,6 +125,7 @@ impl KoshaNode {
             salt_rng: Mutex::new(StdRng::seed_from_u64(id.0 as u64)),
             read_rr: std::sync::atomic::AtomicU64::new(0),
             stats: KoshaStats::new(&obs),
+            mirror_failed: Mutex::new(HashSet::new()),
             obs,
             cfg,
             net,
@@ -139,6 +148,10 @@ impl KoshaNode {
             Arc::new(ControlService(Arc::clone(&node))),
         );
         mux.register(ServiceId::KoshaFs, Arc::new(VirtualFs(Arc::clone(&node))));
+        mux.register(
+            ServiceId::KoshaReplica,
+            Arc::new(ReplicaService(Arc::clone(&node))),
+        );
         (node, mux)
     }
 

@@ -888,6 +888,10 @@ impl RpcHandler for VirtualFs {
                         free,
                     }
                 }
+                // Compound lookup is a server-to-server optimization used
+                // by the resolver; the loopback mount keeps NFS semantics
+                // (applications walk component-by-component).
+                NfsRequest::LookupPath { .. } => return Err(NfsStatus::NotSupp),
             })
         })();
         Ok(RpcResponse::new(&NfsReplyFrame(result)))

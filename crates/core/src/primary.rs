@@ -3,14 +3,16 @@
 //! failures (§4.4), and migrating anchors when the key space shifts
 //! (§4.3).
 
-use crate::control::{KoshaReply, KoshaReplyFrame, KoshaRequest, MigrateItem, MigrateKind};
-use crate::node::{ControlService, KoshaNode};
+use crate::control::{
+    KoshaReply, KoshaReplyFrame, KoshaRequest, MigrateItem, MigrateKind, ReplicaOp,
+};
+use crate::node::{ControlService, KoshaNode, ReplicaService};
 use crate::paths::{
     anchor_slot, is_internal_name, slot_local_path, Area, ANCHOR_META, MIGRATION_FLAG,
 };
 use kosha_nfs::{Fh, NfsReply, NfsRequest, NfsResult, NfsStatus};
 use kosha_pastry::NodeInfo;
-use kosha_rpc::{NodeAddr, RpcError, RpcHandler, RpcResponse, WireRead};
+use kosha_rpc::{NodeAddr, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId, WireRead};
 use kosha_vfs::path::parent_and_name;
 use kosha_vfs::SetAttr;
 use std::collections::HashMap;
@@ -128,51 +130,56 @@ impl KoshaNode {
             .collect()
     }
 
-    /// Ensures the replica-area directory for `vdir` (≥ its anchor)
-    /// exists on `addr`, returning its handle.
-    fn replica_dir(&self, addr: NodeAddr, anchor: &str, vdir: &str) -> NfsResult<Fh> {
-        let p = slot_local_path(Area::Replica, anchor, vdir);
-        let root = self.nfs.mount(addr)?;
-        self.nfs.mkdir_path(addr, root, &p, 0o700, 0, 0)
-    }
-
-    /// Runs a best-effort mirror action against every replica target.
-    fn mirror(&self, f: impl Fn(&Self, NodeAddr) -> NfsResult<()>) {
-        for addr in self.replica_addrs() {
-            let _ = f(self, addr);
+    /// Fans one replicated mutation out to every replica target
+    /// concurrently (§4.2) as a single `ReplicaApply` control RPC per
+    /// target on the dedicated replica service. Failures are counted and
+    /// journaled (first per target) so degraded replication is visible;
+    /// the next full push ([`Self::ensure_replicas`]) heals the copy.
+    fn mirror_op(&self, op: ReplicaOp) {
+        let targets = self.replica_addrs();
+        if targets.is_empty() {
+            return;
+        }
+        let req = RpcRequest::new(ServiceId::KoshaReplica, &KoshaRequest::ReplicaApply { op });
+        let batch = targets.iter().map(|a| (*a, req.clone())).collect();
+        let results = self.net.call_many(self.info.addr, batch);
+        for (addr, result) in targets.into_iter().zip(results) {
+            self.note_mirror_result(addr, mirror_succeeded(result));
         }
     }
 
-    fn mirror_file_write(
-        &self,
-        addr: NodeAddr,
-        anchor: &str,
-        vpath: &str,
-        offset: u64,
-        data: &[u8],
-    ) -> NfsResult<()> {
-        let (pp, name) = parent_and_name(vpath)
-            .ok_or(NfsStatus::Inval)
-            .map_err(kosha_nfs::NfsError::Status)?;
-        let dir = self.replica_dir(addr, anchor, pp)?;
-        let fh = match self.nfs.lookup(addr, dir, name) {
-            Ok((fh, _)) => fh,
-            Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => {
-                self.nfs.create(addr, dir, name, 0o644, 0, 0)?.0
-            }
-            Err(e) => return Err(e),
-        };
-        self.nfs.write(addr, fh, offset, data)?;
-        Ok(())
+    /// Records one replica target's mirror outcome: failures bump
+    /// `replica_mirror_failures` and journal the first miss per target;
+    /// a later success re-arms the journaling for that target.
+    fn note_mirror_result(&self, addr: NodeAddr, ok: bool) {
+        let mut failed = self.mirror_failed.lock();
+        if ok {
+            failed.remove(&addr);
+            return;
+        }
+        self.stats.replica_mirror_failures.inc();
+        let first = failed.insert(addr);
+        drop(failed);
+        if first {
+            self.journal(
+                "mirror_failure",
+                format!("replica on {addr} missed a mirrored mutation"),
+            );
+        }
     }
 
-    /// Pushes a full, fresh copy of `anchor` to every replica target,
-    /// bracketed by the `MIGRATION_NOT_COMPLETE` flag (§4.4).
+    /// Pushes a full, fresh copy of `anchor` to every replica target in
+    /// parallel, each as one batched `MigrateBatch` RPC bracketed by the
+    /// `MIGRATION_NOT_COMPLETE` flag on the receiving side (§4.4).
     pub(crate) fn ensure_replicas(&self, anchor: &str) {
         if self.cfg.replicas == 0 {
             return;
         }
         if self.routing_of(anchor).is_none() {
+            return;
+        }
+        let targets = self.replica_addrs();
+        if targets.is_empty() {
             return;
         }
         let slot_path = slot_local_path(Area::Store, anchor, anchor);
@@ -183,26 +190,246 @@ impl KoshaNode {
         else {
             return;
         };
-        for addr in self.replica_addrs() {
-            let _ = self.push_replica(addr, anchor, &items);
+        let req = RpcRequest::new(
+            ServiceId::KoshaReplica,
+            &KoshaRequest::MigrateBatch {
+                path: anchor.to_string(),
+                items,
+            },
+        );
+        let batch = targets.iter().map(|a| (*a, req.clone())).collect();
+        let results = self.net.call_many(self.info.addr, batch);
+        for (addr, result) in targets.into_iter().zip(results) {
+            let ok = mirror_succeeded(result);
+            if ok {
+                self.stats.replica_pushes.inc();
+            }
+            self.note_mirror_result(addr, ok);
         }
     }
 
-    fn push_replica(&self, addr: NodeAddr, anchor: &str, items: &[MigrateItem]) -> NfsResult<()> {
-        let root = self.nfs.mount(addr)?;
-        let rarea = self.nfs.mkdir_path(
-            addr,
-            root,
-            &format!("/{}", Area::Replica.dir_name()),
-            0o700,
-            0,
-            0,
-        )?;
+    // ---- the replica service (receiving side) -----------------------------
+
+    /// Local replica-area directory for `vdir` (creating the chain), the
+    /// receiving-side counterpart of the primary's old per-RPC
+    /// `mkdir_path` walk.
+    fn replica_dir_local(&self, anchor: &str, vdir: &str) -> Result<Fh, NfsStatus> {
+        let p = slot_local_path(Area::Replica, anchor, vdir);
+        self.store
+            .with_store(|v| v.mkdir_p(&p, 0o700))
+            .map(Fh::from_file_id)
+            .map_err(Into::into)
+    }
+
+    /// Serves the replica-maintenance service: only the two replica
+    /// requests are valid here, and both touch purely local state (no
+    /// nested RPCs), preserving the transports' deadlock discipline.
+    pub(crate) fn handle_replica(&self, req: KoshaRequest) -> Result<KoshaReply, NfsStatus> {
+        match req {
+            KoshaRequest::ReplicaApply { op } => {
+                self.apply_replica_op(op)?;
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::MigrateBatch { path, items } => {
+                self.receive_migrate_batch(&path, &items)?;
+                Ok(KoshaReply::Done)
+            }
+            _ => Err(NfsStatus::NotSupp),
+        }
+    }
+
+    /// Applies one mirrored mutation to the local replica area.
+    /// Already-done outcomes (`Exist` on creates, `NoEnt` on removes and
+    /// renames) count as success so replays and re-pushes are idempotent.
+    fn apply_replica_op(&self, op: ReplicaOp) -> Result<(), NfsStatus> {
+        match op {
+            ReplicaOp::Mkdir { path } => {
+                let anchor = self.covering_anchor(&path);
+                self.replica_dir_local(&anchor, &path).map(|_| ())
+            }
+            ReplicaOp::Create {
+                path,
+                mode,
+                uid,
+                gid,
+                size,
+            } => {
+                let (pp, name) = parent_and_name(&path).ok_or(NfsStatus::Inval)?;
+                let anchor = self.covering_anchor(pp);
+                let dir = self.replica_dir_local(&anchor, pp)?;
+                let name = name.to_string();
+                let r = match size {
+                    None => self.apply(NfsRequest::Create {
+                        dir,
+                        name,
+                        mode,
+                        uid,
+                        gid,
+                    }),
+                    Some(sz) => self.apply(NfsRequest::CreateSized {
+                        dir,
+                        name,
+                        size: sz,
+                        mode,
+                        uid,
+                        gid,
+                    }),
+                };
+                absorb(r, NfsStatus::Exist)
+            }
+            ReplicaOp::Symlink {
+                path,
+                target,
+                mode,
+                uid,
+                gid,
+            } => {
+                let (pp, name) = parent_and_name(&path).ok_or(NfsStatus::Inval)?;
+                let anchor = self.covering_anchor(pp);
+                let dir = self.replica_dir_local(&anchor, pp)?;
+                absorb(
+                    self.apply(NfsRequest::Symlink {
+                        dir,
+                        name: name.to_string(),
+                        target,
+                        mode,
+                        uid,
+                        gid,
+                    }),
+                    NfsStatus::Exist,
+                )
+            }
+            ReplicaOp::Write { path, offset, data } => {
+                let (pp, name) = parent_and_name(&path).ok_or(NfsStatus::Inval)?;
+                let anchor = self.covering_anchor(pp);
+                let dir = self.replica_dir_local(&anchor, pp)?;
+                let fh = match self.apply(NfsRequest::Lookup {
+                    dir,
+                    name: name.to_string(),
+                }) {
+                    Ok(NfsReply::Handle { fh, .. }) => fh,
+                    Err(NfsStatus::NoEnt) => match self.apply(NfsRequest::Create {
+                        dir,
+                        name: name.to_string(),
+                        mode: 0o644,
+                        uid: 0,
+                        gid: 0,
+                    })? {
+                        NfsReply::Handle { fh, .. } => fh,
+                        _ => return Err(NfsStatus::Io),
+                    },
+                    Err(e) => return Err(e),
+                    Ok(_) => return Err(NfsStatus::Io),
+                };
+                self.apply(NfsRequest::Write { fh, offset, data })
+                    .map(|_| ())
+            }
+            ReplicaOp::SetAttr { path, sattr } => {
+                let (pp, name) = parent_and_name(&path).ok_or(NfsStatus::Inval)?;
+                let anchor = self.covering_anchor(pp);
+                let dir = self.replica_dir_local(&anchor, pp)?;
+                let fh = match self.apply(NfsRequest::Lookup {
+                    dir,
+                    name: name.to_string(),
+                })? {
+                    NfsReply::Handle { fh, .. } => fh,
+                    _ => return Err(NfsStatus::Io),
+                };
+                self.apply(NfsRequest::Setattr { fh, sattr }).map(|_| ())
+            }
+            ReplicaOp::Remove { path } => {
+                let (pp, name) = parent_and_name(&path).ok_or(NfsStatus::Inval)?;
+                let anchor = self.covering_anchor(pp);
+                let dir = self.replica_dir_local(&anchor, pp)?;
+                absorb(
+                    self.apply(NfsRequest::Remove {
+                        dir,
+                        name: name.to_string(),
+                    }),
+                    NfsStatus::NoEnt,
+                )
+            }
+            ReplicaOp::Rmdir { path } => {
+                let (pp, name) = parent_and_name(&path).ok_or(NfsStatus::Inval)?;
+                let anchor = self.covering_anchor(pp);
+                let dir = self.replica_dir_local(&anchor, pp)?;
+                absorb(
+                    self.apply(NfsRequest::Rmdir {
+                        dir,
+                        name: name.to_string(),
+                    }),
+                    NfsStatus::NoEnt,
+                )
+            }
+            ReplicaOp::RemoveSlot { anchor } => {
+                let rarea = self.fh_of(&format!("/{}", Area::Replica.dir_name()))?;
+                absorb(
+                    self.apply(NfsRequest::RemoveTree {
+                        dir: rarea,
+                        name: anchor_slot(&anchor),
+                    }),
+                    NfsStatus::NoEnt,
+                )
+            }
+            ReplicaOp::Rename { from, to } => {
+                let (fp, fname) = parent_and_name(&from).ok_or(NfsStatus::Inval)?;
+                let (tp, tname) = parent_and_name(&to).ok_or(NfsStatus::Inval)?;
+                let fanchor = self.covering_anchor(fp);
+                let tanchor = self.covering_anchor(tp);
+                let sdir = self.replica_dir_local(&fanchor, fp)?;
+                let ddir = self.replica_dir_local(&tanchor, tp)?;
+                absorb(
+                    self.apply(NfsRequest::Rename {
+                        sdir,
+                        sname: fname.to_string(),
+                        ddir,
+                        dname: tname.to_string(),
+                    }),
+                    NfsStatus::NoEnt,
+                )
+            }
+            ReplicaOp::RenameSlot { from, to } => {
+                let rarea = self.fh_of(&format!("/{}", Area::Replica.dir_name()))?;
+                absorb(
+                    self.apply(NfsRequest::Rename {
+                        sdir: rarea,
+                        sname: anchor_slot(&from),
+                        ddir: rarea,
+                        dname: anchor_slot(&to),
+                    }),
+                    NfsStatus::NoEnt,
+                )
+            }
+        }
+    }
+
+    /// Installs a complete anchor copy shipped in one RPC: drop any stale
+    /// replica, materialize the subtree under the migration flag, then
+    /// clear the flag (§4.4's consistency bracket).
+    fn receive_migrate_batch(&self, anchor: &str, items: &[MigrateItem]) -> Result<(), NfsStatus> {
+        let rarea = self.fh_of(&format!("/{}", Area::Replica.dir_name()))?;
         let slot = anchor_slot(anchor);
-        // Fresh copy: drop any stale replica first.
-        let _ = self.nfs.remove_tree(addr, rarea, &slot);
-        let (aroot, _) = self.nfs.mkdir(addr, rarea, &slot, 0o700, 0, 0)?;
-        self.nfs.create(addr, aroot, MIGRATION_FLAG, 0o600, 0, 0)?;
+        let _ = self.apply(NfsRequest::RemoveTree {
+            dir: rarea,
+            name: slot.clone(),
+        });
+        let aroot = match self.apply(NfsRequest::Mkdir {
+            dir: rarea,
+            name: slot,
+            mode: 0o700,
+            uid: 0,
+            gid: 0,
+        })? {
+            NfsReply::Handle { fh, .. } => fh,
+            _ => return Err(NfsStatus::Io),
+        };
+        self.apply(NfsRequest::Create {
+            dir: aroot,
+            name: MIGRATION_FLAG.into(),
+            mode: 0o600,
+            uid: 0,
+            gid: 0,
+        })?;
         let mut dirs: HashMap<String, Fh> = HashMap::new();
         dirs.insert(String::new(), aroot);
         for item in items {
@@ -218,35 +445,57 @@ impl KoshaNode {
             };
             match &item.kind {
                 MigrateKind::Dir => {
-                    let (fh, _) = self
-                        .nfs
-                        .mkdir(addr, pfh, name, item.mode, item.uid, item.gid)?;
-                    dirs.insert(item.rel_path.clone(), fh);
+                    if let NfsReply::Handle { fh, .. } = self.apply(NfsRequest::Mkdir {
+                        dir: pfh,
+                        name: name.to_string(),
+                        mode: item.mode,
+                        uid: item.uid,
+                        gid: item.gid,
+                    })? {
+                        dirs.insert(item.rel_path.clone(), fh);
+                    }
                 }
                 MigrateKind::Bytes(data) => {
-                    let (fh, _) = self
-                        .nfs
-                        .create(addr, pfh, name, item.mode, item.uid, item.gid)?;
-                    let chunk = self.cfg.io_chunk as usize;
-                    let mut off = 0usize;
-                    while off < data.len() {
-                        let end = (off + chunk).min(data.len());
-                        self.nfs.write(addr, fh, off as u64, &data[off..end])?;
-                        off = end;
+                    if let NfsReply::Handle { fh, .. } = self.apply(NfsRequest::Create {
+                        dir: pfh,
+                        name: name.to_string(),
+                        mode: item.mode,
+                        uid: item.uid,
+                        gid: item.gid,
+                    })? {
+                        self.apply(NfsRequest::Write {
+                            fh,
+                            offset: 0,
+                            data: data.clone(),
+                        })?;
                     }
                 }
                 MigrateKind::Sparse(n) => {
-                    self.nfs
-                        .create_sized(addr, pfh, name, *n, item.mode, item.uid, item.gid)?;
+                    self.apply(NfsRequest::CreateSized {
+                        dir: pfh,
+                        name: name.to_string(),
+                        size: *n,
+                        mode: item.mode,
+                        uid: item.uid,
+                        gid: item.gid,
+                    })?;
                 }
                 MigrateKind::Symlink { target } => {
-                    self.nfs
-                        .symlink(addr, pfh, name, target, item.mode, item.uid, item.gid)?;
+                    self.apply(NfsRequest::Symlink {
+                        dir: pfh,
+                        name: name.to_string(),
+                        target: target.clone(),
+                        mode: item.mode,
+                        uid: item.uid,
+                        gid: item.gid,
+                    })?;
                 }
             }
         }
-        self.nfs.remove(addr, aroot, MIGRATION_FLAG)?;
-        self.stats.replica_pushes.inc();
+        self.apply(NfsRequest::Remove {
+            dir: aroot,
+            name: MIGRATION_FLAG.into(),
+        })?;
         Ok(())
     }
 
@@ -522,21 +771,12 @@ impl KoshaNode {
                         gid,
                     })?,
                 };
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| {
-                    let (pp, nm) = parent_and_name(&path).expect("non-root");
-                    let dir = s.replica_dir(a, &anchor, pp)?;
-                    let r = match size {
-                        None => s.nfs.create(a, dir, nm, mode, uid, gid).map(|_| ()),
-                        Some(sz) => s
-                            .nfs
-                            .create_sized(a, dir, nm, sz, mode, uid, gid)
-                            .map(|_| ()),
-                    };
-                    match r {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::Exist)) => Ok(()),
-                        other => other,
-                    }
+                self.mirror_op(ReplicaOp::Create {
+                    path,
+                    mode,
+                    uid,
+                    gid,
+                    size,
                 });
                 match reply {
                     NfsReply::Handle { fh, attr } => Ok(KoshaReply::Handle { fh, attr }),
@@ -558,8 +798,7 @@ impl KoshaNode {
                     uid,
                     gid,
                 })?;
-                let anchor = self.covering_anchor(&path);
-                self.mirror(|s, a| s.replica_dir(a, &anchor, &path).map(|_| ()));
+                self.mirror_op(ReplicaOp::Mkdir { path });
                 match reply {
                     NfsReply::Handle { fh, attr } => Ok(KoshaReply::Handle { fh, attr }),
                     _ => Ok(KoshaReply::Done),
@@ -609,17 +848,12 @@ impl KoshaNode {
                     uid,
                     gid,
                 })?;
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| {
-                    let (pp, nm) = parent_and_name(&path).expect("non-root");
-                    let dir = s.replica_dir(a, &anchor, pp)?;
-                    match s
-                        .nfs
-                        .symlink(a, dir, nm, &target, SPECIAL_LINK_MODE, uid, gid)
-                    {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::Exist)) => Ok(()),
-                        other => other.map(|_| ()),
-                    }
+                self.mirror_op(ReplicaOp::Symlink {
+                    path,
+                    target,
+                    mode: SPECIAL_LINK_MODE,
+                    uid,
+                    gid,
                 });
                 Ok(KoshaReply::Done)
             }
@@ -639,14 +873,12 @@ impl KoshaNode {
                     uid,
                     gid,
                 })?;
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| {
-                    let (pp, nm) = parent_and_name(&path).expect("non-root");
-                    let dir = s.replica_dir(a, &anchor, pp)?;
-                    match s.nfs.symlink(a, dir, nm, &target, USER_LINK_MODE, uid, gid) {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::Exist)) => Ok(()),
-                        other => other.map(|_| ()),
-                    }
+                self.mirror_op(ReplicaOp::Symlink {
+                    path,
+                    target,
+                    mode: USER_LINK_MODE,
+                    uid,
+                    gid,
                 });
                 Ok(KoshaReply::Done)
             }
@@ -658,8 +890,7 @@ impl KoshaNode {
                     offset,
                     data: data.clone(),
                 })?;
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| s.mirror_file_write(a, &anchor, &path, offset, &data));
+                self.mirror_op(ReplicaOp::Write { path, offset, data });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::SetAttr { path, sattr } => {
@@ -669,13 +900,7 @@ impl KoshaNode {
                     fh,
                     sattr: sattr.clone(),
                 })?;
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| {
-                    let (pp, nm) = parent_and_name(&path).expect("non-root");
-                    let dir = s.replica_dir(a, &anchor, pp)?;
-                    let (fh, _) = s.nfs.lookup(a, dir, nm)?;
-                    s.nfs.setattr(a, fh, sattr.0.clone()).map(|_| ())
-                });
+                self.mirror_op(ReplicaOp::SetAttr { path, sattr });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::Remove { path } | KoshaRequest::RemoveLink { path } => {
@@ -685,15 +910,7 @@ impl KoshaNode {
                     dir,
                     name: name.clone(),
                 })?;
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| {
-                    let (pp, nm) = parent_and_name(&path).expect("non-root");
-                    let dir = s.replica_dir(a, &anchor, pp)?;
-                    match s.nfs.remove(a, dir, nm) {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
-                        other => other,
-                    }
-                });
+                self.mirror_op(ReplicaOp::Remove { path });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::Rmdir { path } => {
@@ -703,15 +920,7 @@ impl KoshaNode {
                     dir,
                     name: name.clone(),
                 })?;
-                let anchor = self.covering_anchor(&parent_of(&path));
-                self.mirror(|s, a| {
-                    let (pp, nm) = parent_and_name(&path).expect("non-root");
-                    let dir = s.replica_dir(a, &anchor, pp)?;
-                    match s.nfs.rmdir(a, dir, nm) {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
-                        other => other,
-                    }
-                });
+                self.mirror_op(ReplicaOp::Rmdir { path });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::RmdirAnchor { path } => {
@@ -742,16 +951,7 @@ impl KoshaNode {
                     name: slot.clone(),
                 })?;
                 self.anchors.lock().remove(&path);
-                self.mirror(|s, a| {
-                    let root = s.nfs.mount(a)?;
-                    let (rarea, _) =
-                        s.nfs
-                            .lookup_path(a, root, &format!("/{}", Area::Replica.dir_name()))?;
-                    match s.nfs.remove_tree(a, rarea, &slot) {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
-                        other => other,
-                    }
-                });
+                self.mirror_op(ReplicaOp::RemoveSlot { anchor: path });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::RenameLocal { from, to } => {
@@ -765,18 +965,7 @@ impl KoshaNode {
                     ddir,
                     dname: tname.clone(),
                 })?;
-                let fanchor = self.covering_anchor(&parent_of(&from));
-                let tanchor = self.covering_anchor(&parent_of(&to));
-                self.mirror(|s, a| {
-                    let (fp, fn_) = parent_and_name(&from).expect("non-root");
-                    let (tp, tn) = parent_and_name(&to).expect("non-root");
-                    let sdir = s.replica_dir(a, &fanchor, fp)?;
-                    let ddir = s.replica_dir(a, &tanchor, tp)?;
-                    match s.nfs.rename(a, sdir, fn_, ddir, tn) {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
-                        other => other,
-                    }
-                });
+                self.mirror_op(ReplicaOp::Rename { from, to });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::RenameAnchorDir { from, to } => {
@@ -797,16 +986,7 @@ impl KoshaNode {
                     a.remove(&from);
                     a.insert(to.clone(), routing);
                 }
-                self.mirror(|s, a| {
-                    let root = s.nfs.mount(a)?;
-                    let (rarea, _) =
-                        s.nfs
-                            .lookup_path(a, root, &format!("/{}", Area::Replica.dir_name()))?;
-                    match s.nfs.rename(a, rarea, &fslot, rarea, &tslot) {
-                        Err(kosha_nfs::NfsError::Status(NfsStatus::NoEnt)) => Ok(()),
-                        other => other,
-                    }
-                });
+                self.mirror_op(ReplicaOp::RenameSlot { from, to });
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::EnsureAnchor { path, routing } => {
@@ -969,6 +1149,11 @@ impl KoshaNode {
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::ListAnchors => Ok(KoshaReply::Anchors(self.hosted_anchors())),
+            // Replica maintenance is served on its own leaf service
+            // (`ServiceId::KoshaReplica`), not the control service.
+            KoshaRequest::MigrateBatch { .. } | KoshaRequest::ReplicaApply { .. } => {
+                Err(NfsStatus::NotSupp)
+            }
             KoshaRequest::ReplicaTargets { path } => {
                 let anchor = self.covering_anchor(&path);
                 if !self.hosted(&anchor) {
@@ -980,10 +1165,21 @@ impl KoshaNode {
     }
 }
 
-fn parent_of(vpath: &str) -> String {
-    parent_and_name(vpath)
-        .map(|(p, _)| p.to_string())
-        .unwrap_or_else(|| "/".to_string())
+/// Whether a mirror RPC's outcome means the replica applied the change.
+fn mirror_succeeded(result: Result<RpcResponse, RpcError>) -> bool {
+    matches!(
+        result.and_then(|r| r.decode::<KoshaReplyFrame>()),
+        Ok(KoshaReplyFrame(Ok(_)))
+    )
+}
+
+/// Treats `benign` as success (idempotent replica mutations).
+fn absorb(r: Result<NfsReply, NfsStatus>, benign: NfsStatus) -> Result<(), NfsStatus> {
+    match r {
+        Ok(_) => Ok(()),
+        Err(e) if e == benign => Ok(()),
+        Err(e) => Err(e),
+    }
 }
 
 fn default_routing(anchor: &str) -> String {
@@ -1000,6 +1196,14 @@ impl RpcHandler for ControlService {
     fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
         let req = KoshaRequest::decode(body)?;
         let result = self.0.handle_control(req);
+        Ok(RpcResponse::new(&KoshaReplyFrame(result)))
+    }
+}
+
+impl RpcHandler for ReplicaService {
+    fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
+        let req = KoshaRequest::decode(body)?;
+        let result = self.0.handle_replica(req);
         Ok(RpcResponse::new(&KoshaReplyFrame(result)))
     }
 }

@@ -72,9 +72,11 @@ impl KoshaNode {
         c.handles.clear_locations_at(addr);
     }
 
-    /// Drops all resolution caches (after a stale-handle surprise, e.g. a
-    /// purged and reincarnated store).
-    pub(crate) fn flush_caches(&self) {
+    /// Drops all resolution caches: the internal reaction to a
+    /// stale-handle surprise (e.g. a purged and reincarnated store), and
+    /// an admin knob for benchmarks that need a cold resolver. Virtual
+    /// handles stay valid — their paths re-resolve on next use.
+    pub fn flush_caches(&self) {
         let mut c = self.client.lock();
         c.root_cache.clear();
         c.dir_cache.clear();
@@ -126,6 +128,7 @@ impl KoshaNode {
 
     /// Invalidates cached locations for `vpath`, its ancestors, and its
     /// descendants (the resolution chain a migrated anchor poisons).
+    /// Handles on unrelated branches keep their cached locations.
     pub(crate) fn invalidate_chain(&self, vpath: &str) {
         let prefix = format!("{vpath}/");
         let mut c = self.client.lock();
@@ -135,7 +138,7 @@ impl KoshaNode {
             let is_descendant = p.starts_with(&prefix);
             !(is_ancestor || is_self || is_descendant)
         });
-        c.handles.clear_locations_everywhere();
+        c.handles.clear_locations_chain(vpath);
     }
 
     /// The handle of a node's `/kosha_store` export root, cached.
@@ -207,43 +210,153 @@ impl KoshaNode {
     }
 
     fn resolve_dir_once(&self, vpath: &str, budget: &mut usize) -> NfsResult<Location> {
+        if self.cfg.compound_lookup {
+            self.resolve_dir_compound(vpath, budget)
+        } else {
+            self.resolve_dir_per_component(vpath, budget)
+        }
+    }
+
+    /// Resolves the virtual root's listing location.
+    fn resolve_root(&self) -> NfsResult<Location> {
+        let owner = self.owner_of(ROOT_ANCHOR)?;
+        let fh = self.locate_anchor(owner.addr, "/", ROOT_ANCHOR)?;
+        let loc = Location {
+            addr: owner.addr,
+            fh,
+        };
+        self.client.lock().dir_cache.insert("/".to_string(), loc);
+        Ok(loc)
+    }
+
+    /// The original NFSv3-style walk: recurse to the parent, LOOKUP one
+    /// component, follow a special link if it marks a distributed child.
+    /// Kept as the [`crate::config::KoshaConfig::compound_lookup`] `=
+    /// false` baseline.
+    fn resolve_dir_per_component(&self, vpath: &str, budget: &mut usize) -> NfsResult<Location> {
         if let Some(l) = self.client.lock().dir_cache.get(vpath) {
             return Ok(*l);
         }
-        let loc = if vpath == "/" {
-            let owner = self.owner_of(ROOT_ANCHOR)?;
-            let fh = self.locate_anchor(owner.addr, "/", ROOT_ANCHOR)?;
-            Location {
-                addr: owner.addr,
-                fh,
-            }
-        } else {
-            let (ppath, name) = parent_and_name(vpath).ok_or(NfsError::Status(NfsStatus::Inval))?;
-            let name = name.to_string();
-            let parent = self.resolve_dir_budget(ppath, budget)?;
-            let (efh, attr) = self.nfs.lookup(parent.addr, parent.fh, &name)?;
-            match attr.ftype {
-                FileType::Directory => Location {
-                    addr: parent.addr,
-                    fh: efh,
-                },
-                FileType::Symlink
-                    if is_special_link_mode(attr.mode)
-                        && is_distributed_dir(vpath, self.cfg.distribution_level) =>
-                {
-                    let target = self.nfs.readlink(parent.addr, efh)?;
-                    let owner = self.owner_of(&target)?;
-                    let fh = self.locate_anchor(owner.addr, vpath, &target)?;
-                    Location {
-                        addr: owner.addr,
-                        fh,
-                    }
+        if vpath == "/" {
+            return self.resolve_root();
+        }
+        let (ppath, name) = parent_and_name(vpath).ok_or(NfsError::Status(NfsStatus::Inval))?;
+        let name = name.to_string();
+        let parent = self.resolve_dir_budget(ppath, budget)?;
+        let (efh, attr) = self.nfs.lookup(parent.addr, parent.fh, &name)?;
+        let loc = match attr.ftype {
+            FileType::Directory => Location {
+                addr: parent.addr,
+                fh: efh,
+            },
+            FileType::Symlink
+                if is_special_link_mode(attr.mode)
+                    && is_distributed_dir(vpath, self.cfg.distribution_level) =>
+            {
+                let target = self.nfs.readlink(parent.addr, efh)?;
+                let owner = self.owner_of(&target)?;
+                let fh = self.locate_anchor(owner.addr, vpath, &target)?;
+                Location {
+                    addr: owner.addr,
+                    fh,
                 }
-                _ => return Err(NfsError::Status(NfsStatus::NotDir)),
             }
+            _ => return Err(NfsError::Status(NfsStatus::NotDir)),
         };
         self.client.lock().dir_cache.insert(vpath.to_string(), loc);
         Ok(loc)
+    }
+
+    /// Compound walk: one LOOKUPPATH RPC per *server* along the path
+    /// instead of one LOOKUP per component. Each server resolves as many
+    /// components as its store holds; the walk hops to the next server
+    /// when it ends on a special link (whose target the server piggybacks
+    /// in the reply), and every resolved directory is cached exactly as
+    /// the per-component walk would have cached it.
+    fn resolve_dir_compound(&self, vpath: &str, budget: &mut usize) -> NfsResult<Location> {
+        if let Some(l) = self.client.lock().dir_cache.get(vpath) {
+            return Ok(*l);
+        }
+        if vpath == "/" {
+            return self.resolve_root();
+        }
+        // Start from the deepest cached ancestor (the root at worst).
+        let mut done = "/";
+        let mut start = None;
+        {
+            let c = self.client.lock();
+            let mut p = vpath;
+            while let Some((pp, _)) = parent_and_name(p) {
+                if let Some(l) = c.dir_cache.get(pp) {
+                    done = pp;
+                    start = Some(*l);
+                    break;
+                }
+                p = pp;
+            }
+        }
+        let mut done = done.to_string();
+        let mut cur = match start {
+            Some(l) => l,
+            None => self.resolve_dir_budget("/", budget)?,
+        };
+        loop {
+            let remaining = if done == "/" {
+                &vpath[1..]
+            } else {
+                &vpath[done.len() + 1..]
+            };
+            let nodes = self.nfs.lookup_path_nodes(cur.addr, cur.fh, remaining)?;
+            let comps: Vec<&str> = remaining.split('/').collect();
+            let mut hopped = false;
+            for (node, name) in nodes.iter().zip(&comps) {
+                let child = if done == "/" {
+                    format!("/{name}")
+                } else {
+                    format!("{done}/{name}")
+                };
+                match node.attr.0.ftype {
+                    FileType::Directory => {
+                        let loc = Location {
+                            addr: cur.addr,
+                            fh: node.fh,
+                        };
+                        self.client.lock().dir_cache.insert(child.clone(), loc);
+                        cur = loc;
+                        done = child;
+                    }
+                    FileType::Symlink
+                        if is_special_link_mode(node.attr.0.mode)
+                            && is_distributed_dir(&child, self.cfg.distribution_level) =>
+                    {
+                        let target = match &node.link_target {
+                            Some(t) => t.clone(),
+                            None => self.nfs.readlink(cur.addr, node.fh)?,
+                        };
+                        let owner = self.owner_of(&target)?;
+                        let fh = self.locate_anchor(owner.addr, &child, &target)?;
+                        let loc = Location {
+                            addr: owner.addr,
+                            fh,
+                        };
+                        self.client.lock().dir_cache.insert(child.clone(), loc);
+                        cur = loc;
+                        done = child;
+                        hopped = true;
+                        break; // resume the walk on the anchor's owner
+                    }
+                    _ => return Err(NfsError::Status(NfsStatus::NotDir)),
+                }
+            }
+            if done == vpath {
+                return Ok(cur);
+            }
+            if !hopped {
+                // The server's walk ended below the requested depth on a
+                // directory whose child it does not hold: missing entry.
+                return Err(NfsError::Status(NfsStatus::NoEnt));
+            }
+        }
     }
 
     /// Resolves an arbitrary object (file, user symlink, or directory) to
@@ -290,5 +403,84 @@ impl KoshaNode {
     /// listing/entry.
     pub(crate) fn covering_anchor(&self, vpath: &str) -> String {
         anchor_dir_of(vpath, self.cfg.distribution_level).unwrap_or_else(|_| "/".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KoshaConfig;
+    use kosha_id::node_id_from_seed;
+    use kosha_rpc::{Network, SimNetwork};
+    use std::sync::Arc;
+
+    fn solo_node() -> Arc<KoshaNode> {
+        let net = SimNetwork::new_zero_latency();
+        let (node, mux) = KoshaNode::build(
+            KoshaConfig::for_tests(),
+            node_id_from_seed("resolve-tests"),
+            NodeAddr(0),
+            net.clone() as Arc<dyn Network>,
+        );
+        net.attach(node.addr(), mux);
+        node.join(None).unwrap();
+        node
+    }
+
+    fn fake_loc(n: u64) -> Location {
+        Location {
+            addr: NodeAddr(n),
+            fh: Fh { ino: n, gen: 1 },
+        }
+    }
+
+    #[test]
+    fn invalidate_dir_subtree_is_prefix_exact() {
+        let node = solo_node();
+        {
+            let mut c = node.client.lock();
+            for p in ["/a", "/a/x", "/ab", "/ab/y", "/b"] {
+                c.dir_cache.insert(p.to_string(), fake_loc(7));
+            }
+        }
+        node.invalidate_dir_subtree("/a");
+        let c = node.client.lock();
+        assert!(!c.dir_cache.contains_key("/a"));
+        assert!(!c.dir_cache.contains_key("/a/x"));
+        assert!(
+            c.dir_cache.contains_key("/ab"),
+            "/ab wrongly swept up with /a"
+        );
+        assert!(c.dir_cache.contains_key("/ab/y"));
+        assert!(c.dir_cache.contains_key("/b"));
+    }
+
+    #[test]
+    fn invalidate_chain_spares_unrelated_handles() {
+        let node = solo_node();
+        let (on_chain, off_chain, prefix_trap);
+        {
+            let mut c = node.client.lock();
+            for p in ["/", "/a", "/a/b", "/ab"] {
+                c.dir_cache.insert(p.to_string(), fake_loc(7));
+            }
+            on_chain = c.handles.mint("/a/b/f", FileType::Regular);
+            off_chain = c.handles.mint("/other/g", FileType::Regular);
+            prefix_trap = c.handles.mint("/a/bc", FileType::Regular);
+            for fh in [on_chain, off_chain, prefix_trap] {
+                c.handles.set_location(fh, fake_loc(9));
+            }
+        }
+        node.invalidate_chain("/a/b");
+        let c = node.client.lock();
+        // Directory cache: the chain is dropped, the /ab sibling stays.
+        assert!(!c.dir_cache.contains_key("/"));
+        assert!(!c.dir_cache.contains_key("/a"));
+        assert!(!c.dir_cache.contains_key("/a/b"));
+        assert!(c.dir_cache.contains_key("/ab"));
+        // Handles: only locations on the invalidated chain are dropped.
+        assert_eq!(c.handles.get(on_chain).unwrap().loc, None);
+        assert_eq!(c.handles.get(off_chain).unwrap().loc, Some(fake_loc(9)));
+        assert_eq!(c.handles.get(prefix_trap).unwrap().loc, Some(fake_loc(9)));
     }
 }

@@ -46,6 +46,10 @@ pub struct KoshaStats {
     /// READs served from a replica instead of the primary (§4.2's
     /// read-spreading optimization; `kosha_replica_reads_total`).
     pub replica_reads: Arc<Counter>,
+    /// Mirror fan-outs that failed on a replica target, leaving that
+    /// replica behind the primary until the next full push
+    /// (`kosha_replica_mirror_failures_total`).
+    pub replica_mirror_failures: Arc<Counter>,
 }
 
 /// A plain-value snapshot of [`KoshaStats`].
@@ -69,6 +73,8 @@ pub struct StatsSnapshot {
     pub redirections: u64,
     /// See [`KoshaStats::replica_reads`].
     pub replica_reads: u64,
+    /// See [`KoshaStats::replica_mirror_failures`].
+    pub replica_mirror_failures: u64,
 }
 
 impl KoshaStats {
@@ -86,6 +92,7 @@ impl KoshaStats {
             replica_pulls: c("kosha_replica_pulls_total"),
             redirections: c("kosha_redirections_total"),
             replica_reads: c("kosha_replica_reads_total"),
+            replica_mirror_failures: c("kosha_replica_mirror_failures_total"),
         }
     }
 
@@ -102,6 +109,7 @@ impl KoshaStats {
             replica_pulls: self.replica_pulls.get(),
             redirections: self.redirections.get(),
             replica_reads: self.replica_reads.get(),
+            replica_mirror_failures: self.replica_mirror_failures.get(),
         }
     }
 }

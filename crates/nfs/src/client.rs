@@ -408,20 +408,50 @@ impl NfsClient {
         }
     }
 
-    /// Walks `path` component-by-component with LOOKUP RPCs, as an NFS
-    /// client resolves a path it has no cached handles for
-    /// (Section 4.1.3: "Looking up the full path by an NFS client requires
-    /// a sequence of lookup RPCs").
+    /// LOOKUPPATH (extension): one compound RPC resolving as many
+    /// components of `path` under `dir` as the server holds locally.
+    /// The returned prefix may be shorter than the requested path; the
+    /// caller inspects the last node to tell a stopped walk (symlink or
+    /// other non-directory) from a missing entry.
+    pub fn lookup_path_nodes(
+        &self,
+        to: NodeAddr,
+        dir: Fh,
+        path: &str,
+    ) -> NfsResult<Vec<crate::messages::WirePathNode>> {
+        match self.call(
+            to,
+            &NfsRequest::LookupPath {
+                dir,
+                path: path.into(),
+            },
+        )? {
+            NfsReply::PathNodes { nodes } => Ok(nodes),
+            _ => Self::unexpected(),
+        }
+    }
+
+    /// Resolves `path` under `root` on a single server. Historically this
+    /// walked component-by-component with LOOKUP RPCs (Section 4.1.3:
+    /// "Looking up the full path by an NFS client requires a sequence of
+    /// lookup RPCs"); it now issues one compound LOOKUPPATH and maps a
+    /// short walk back to the status the per-component walk would have
+    /// hit: a non-directory mid-path is `NotDir`, a missing child is
+    /// `NoEnt`.
     pub fn lookup_path(&self, to: NodeAddr, root: Fh, path: &str) -> NfsResult<(Fh, Attr)> {
         let comps = kosha_vfs::split_path(path).map_err(|e| NfsError::Status(e.into()))?;
-        let mut fh = root;
-        let mut attr = self.getattr(to, root)?;
-        for c in comps {
-            let (next, a) = self.lookup(to, fh, c)?;
-            fh = next;
-            attr = a;
+        if comps.is_empty() {
+            return Ok((root, self.getattr(to, root)?));
         }
-        Ok((fh, attr))
+        let nodes = self.lookup_path_nodes(to, root, &comps.join("/"))?;
+        match nodes.last() {
+            Some(last) if nodes.len() == comps.len() => Ok((last.fh, last.attr.0.clone())),
+            Some(last) if last.attr.0.ftype == kosha_vfs::FileType::Directory => {
+                Err(NfsError::Status(crate::messages::NfsStatus::NoEnt))
+            }
+            Some(_) => Err(NfsError::Status(crate::messages::NfsStatus::NotDir)),
+            None => Err(NfsError::Status(crate::messages::NfsStatus::NoEnt)),
+        }
     }
 
     /// Creates every missing directory along `path` with MKDIR RPCs and
@@ -508,6 +538,28 @@ mod tests {
         // Idempotent.
         let again = c.mkdir_path(s, root, "/a/b/c", 0o755, 0, 0).unwrap();
         assert_eq!(again, leaf);
+    }
+
+    #[test]
+    fn lookup_path_maps_short_walks_to_statuses() {
+        let (_net, c, s) = setup();
+        let root = c.mount(s).unwrap();
+        let dir = c.mkdir_path(s, root, "/a/b", 0o755, 0, 0).unwrap();
+        c.create(s, dir, "f", 0o644, 0, 0).unwrap();
+        // A file mid-path fails the same way the per-component walk did.
+        assert!(matches!(
+            c.lookup_path(s, root, "/a/b/f/deeper"),
+            Err(NfsError::Status(NfsStatus::NotDir))
+        ));
+        // A missing child of an existing directory.
+        assert!(matches!(
+            c.lookup_path(s, root, "/a/missing/x"),
+            Err(NfsError::Status(NfsStatus::NoEnt))
+        ));
+        // The export root resolves to itself.
+        let (fh, attr) = c.lookup_path(s, root, "/").unwrap();
+        assert_eq!(fh, root);
+        assert_eq!(attr.ftype, FileType::Directory);
     }
 
     #[test]

@@ -29,5 +29,7 @@ pub mod server;
 
 pub use cache::{CacheConfig, CacheStats, CachingClient};
 pub use client::NfsClient;
-pub use messages::{Fh, NfsError, NfsReply, NfsRequest, NfsResult, NfsStatus, WireAttr};
+pub use messages::{
+    Fh, NfsError, NfsReply, NfsRequest, NfsResult, NfsStatus, WireAttr, WirePathNode,
+};
 pub use server::{DiskModel, NfsServer};

@@ -288,6 +288,38 @@ impl WireRead for WireDirEntry {
     }
 }
 
+/// One resolved step of a compound [`NfsRequest::LookupPath`] walk.
+///
+/// For symlinks the server piggybacks the link target so the client can
+/// decide — without a follow-up READLINK — whether the link is a Kosha
+/// special link it must chase to another server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePathNode {
+    /// Handle of the resolved component.
+    pub fh: Fh,
+    /// Attributes of the resolved component.
+    pub attr: WireAttr,
+    /// The link target, present iff the component is a symlink.
+    pub link_target: Option<String>,
+}
+
+impl WireWrite for WirePathNode {
+    fn write(&self, w: &mut Writer) {
+        w.value(&self.fh);
+        w.value(&self.attr);
+        w.option(&self.link_target);
+    }
+}
+impl WireRead for WirePathNode {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(WirePathNode {
+            fh: r.value()?,
+            attr: r.value()?,
+            link_target: r.option()?,
+        })
+    }
+}
+
 /// The NFS procedure set. `Mount` plays the role of the MOUNT protocol's
 /// `MNT` (hand out the export's root handle); `CreateSized` and
 /// `RemoveTree` are documented extensions used by the simulation harness
@@ -452,12 +484,26 @@ pub enum NfsRequest {
     /// Filesystem statistics (capacity/used/free), used by Kosha's
     /// redirection to test node fullness.
     Fsstat,
+    /// Extension: compound lookup. Walks as many `/`-separated components
+    /// of `path` under `dir` as this server can resolve locally and
+    /// returns one [`WirePathNode`] per resolved component. The walk
+    /// stops early (with the partial prefix) at a symlink or other
+    /// non-directory in the middle of the path, leaving the client to
+    /// decide whether to chase a special link to another server. An
+    /// error on the *first* component is a status reply; errors later
+    /// return the successfully resolved prefix.
+    LookupPath {
+        /// Directory handle the walk starts from.
+        dir: Fh,
+        /// Relative path, components separated by `/` (no leading slash).
+        path: String,
+    },
 }
 
 impl NfsRequest {
     /// Stable lower-case procedure labels, indexed by
     /// [`NfsRequest::proc_index`] (used for per-procedure metrics).
-    pub const PROC_NAMES: [&'static str; 19] = [
+    pub const PROC_NAMES: [&'static str; 20] = [
         "null",
         "mount",
         "getattr",
@@ -477,6 +523,7 @@ impl NfsRequest {
         "rename",
         "readdir",
         "fsstat",
+        "lookup_path",
     ];
 
     /// Dense index of this procedure into [`NfsRequest::PROC_NAMES`].
@@ -502,6 +549,7 @@ impl NfsRequest {
             NfsRequest::Rename { .. } => 16,
             NfsRequest::Readdir { .. } => 17,
             NfsRequest::Fsstat => 18,
+            NfsRequest::LookupPath { .. } => 19,
         }
     }
 
@@ -646,6 +694,11 @@ impl WireWrite for NfsRequest {
                 w.u32(*gid);
                 w.u32(*want);
             }
+            NfsRequest::LookupPath { dir, path } => {
+                w.u8(19);
+                w.value(dir);
+                w.string(path);
+            }
         }
     }
 }
@@ -731,6 +784,10 @@ impl WireRead for NfsRequest {
                 gid: r.u32()?,
                 want: r.u32()?,
             },
+            19 => NfsRequest::LookupPath {
+                dir: r.value()?,
+                path: r.string()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -795,6 +852,12 @@ pub enum NfsReply {
         /// Bytes free.
         free: u64,
     },
+    /// Resolved prefix of a compound walk (LOOKUPPATH), one node per
+    /// component in walk order. May be shorter than the requested path.
+    PathNodes {
+        /// Resolved components, outermost first.
+        nodes: Vec<WirePathNode>,
+    },
 }
 
 impl WireWrite for NfsReply {
@@ -845,6 +908,10 @@ impl WireWrite for NfsReply {
                 w.u8(9);
                 w.u32(*granted);
             }
+            NfsReply::PathNodes { nodes } => {
+                w.u8(10);
+                w.seq(nodes);
+            }
         }
     }
 }
@@ -874,6 +941,7 @@ impl WireRead for NfsReply {
                 free: r.u64()?,
             },
             9 => NfsReply::Granted { granted: r.u32()? },
+            10 => NfsReply::PathNodes { nodes: r.seq()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1008,6 +1076,10 @@ mod tests {
             gid: 20,
             want: 0x7,
         });
+        rt(NfsRequest::LookupPath {
+            dir: fh,
+            path: "a/b/c".into(),
+        });
     }
 
     #[test]
@@ -1043,6 +1115,20 @@ mod tests {
                 free: 90,
             })),
             NfsReplyFrame(Ok(NfsReply::Granted { granted: 0x5 })),
+            NfsReplyFrame(Ok(NfsReply::PathNodes {
+                nodes: vec![
+                    WirePathNode {
+                        fh,
+                        attr: attr.clone(),
+                        link_target: None,
+                    },
+                    WirePathNode {
+                        fh,
+                        attr: attr.clone(),
+                        link_target: Some("@1234#5".into()),
+                    },
+                ],
+            })),
             NfsReplyFrame(Err(NfsStatus::NoSpc)),
             NfsReplyFrame(Err(NfsStatus::Stale)),
         ] {

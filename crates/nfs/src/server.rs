@@ -263,6 +263,46 @@ impl NfsServer {
                     free,
                 })
             }
+            NfsRequest::LookupPath { dir, path } => {
+                // Compound walk: resolve as many components as this store
+                // holds. Like LOOKUP, resolution itself is free on the
+                // disk model — the win is round trips, not disk time.
+                let mut nodes = Vec::new();
+                let mut cur = dir.to_file_id();
+                let mut failure = None;
+                for name in path.split('/').filter(|c| !c.is_empty()) {
+                    match vfs.lookup(cur, name) {
+                        Ok((id, attr)) => {
+                            let link_target = if attr.ftype == kosha_vfs::FileType::Symlink {
+                                vfs.readlink(id).ok()
+                            } else {
+                                None
+                            };
+                            let stop = attr.ftype != kosha_vfs::FileType::Directory;
+                            nodes.push(crate::messages::WirePathNode {
+                                fh: crate::messages::Fh::from_file_id(id),
+                                attr: WireAttr(attr),
+                                link_target,
+                            });
+                            if stop {
+                                break;
+                            }
+                            cur = id;
+                        }
+                        Err(e) => {
+                            failure = Some(e.into());
+                            break;
+                        }
+                    }
+                }
+                match failure {
+                    // An error on the very first component is the walk's
+                    // error; later errors return the resolved prefix and
+                    // let the client decide what the partial walk means.
+                    Some(status) if nodes.is_empty() => Err(status),
+                    _ => Ok(NfsReply::PathNodes { nodes }),
+                }
+            }
         };
         NfsReplyFrame(result)
     }
@@ -476,5 +516,73 @@ mod tests {
         };
         let names: Vec<_> = entries.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn lookup_path_walks_and_stops_at_symlink() {
+        let s = server();
+        let NfsReply::Root { fh: root } = run(&s, NfsRequest::Mount).unwrap() else {
+            panic!()
+        };
+        s.with_store(|v| {
+            v.mkdir_p("/a/b", 0o755).unwrap();
+            let (b, _) = v.resolve("/a/b").unwrap();
+            v.create(b, "f", 0o644, 0, 0).unwrap();
+            let (a, _) = v.resolve("/a").unwrap();
+            v.symlink(a, "link", "@00ff#2", 0o1777, 0, 0).unwrap();
+        });
+
+        // Full walk: every component resolves, file terminates the path.
+        let NfsReply::PathNodes { nodes } = run(
+            &s,
+            NfsRequest::LookupPath {
+                dir: root,
+                path: "a/b/f".into(),
+            },
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes[2].link_target.is_none());
+
+        // A symlink mid-path ends the walk with the link target attached,
+        // even though more components were requested.
+        let NfsReply::PathNodes { nodes } = run(
+            &s,
+            NfsRequest::LookupPath {
+                dir: root,
+                path: "a/link/deeper".into(),
+            },
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[1].link_target.as_deref(), Some("@00ff#2"));
+
+        // Missing first component is a status; missing later component
+        // returns the resolved prefix.
+        assert_eq!(
+            run(
+                &s,
+                NfsRequest::LookupPath {
+                    dir: root,
+                    path: "nope/x".into()
+                }
+            ),
+            Err(NfsStatus::NoEnt)
+        );
+        let NfsReply::PathNodes { nodes } = run(
+            &s,
+            NfsRequest::LookupPath {
+                dir: root,
+                path: "a/nope/x".into(),
+            },
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(nodes.len(), 1);
     }
 }

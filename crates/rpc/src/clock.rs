@@ -76,6 +76,18 @@ impl VirtualClock {
     pub fn reset(&self) {
         self.nanos.store(0, Ordering::Relaxed);
     }
+
+    /// Moves the clock to an absolute time (backwards or forwards).
+    ///
+    /// This exists for the simulated transport's parallel fan-out
+    /// (`Network::call_many`): each call in a batch is replayed from the
+    /// same start time and the clock is finally set to `start + max`
+    /// of the individual elapsed times, so concurrent RPCs cost the
+    /// slowest one rather than the sum. Only the single driving thread
+    /// of a deterministic simulation may use it.
+    pub fn set(&self, t: SimTime) {
+        self.nanos.store(t.0, Ordering::Relaxed);
+    }
 }
 
 impl Clock for VirtualClock {

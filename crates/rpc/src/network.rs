@@ -50,16 +50,24 @@ pub enum ServiceId {
     /// file system (virtual handles). Distinct from [`ServiceId::Nfs`],
     /// which is the node's *real* NFS export of its contributed disk.
     KoshaFs,
+    /// Replica-maintenance traffic (mirror fan-out, batched anchor
+    /// pushes). A *leaf* service: its handlers only touch the local
+    /// replica area and never issue nested RPCs, so primaries may fan
+    /// out to each other concurrently without forming the same-service
+    /// call cycles the transports cannot serve (see the deadlock
+    /// discipline in [`crate::ThreadedNetwork`]'s docs).
+    KoshaReplica,
 }
 
 impl ServiceId {
     /// All services, in tag order (used to pre-register per-service
     /// metrics so expositions list every service even before traffic).
-    pub const ALL: [ServiceId; 4] = [
+    pub const ALL: [ServiceId; 5] = [
         ServiceId::Pastry,
         ServiceId::Nfs,
         ServiceId::Kosha,
         ServiceId::KoshaFs,
+        ServiceId::KoshaReplica,
     ];
 
     /// Stable lower-case label for metric names.
@@ -70,6 +78,7 @@ impl ServiceId {
             ServiceId::Nfs => "nfs",
             ServiceId::Kosha => "kosha",
             ServiceId::KoshaFs => "koshafs",
+            ServiceId::KoshaReplica => "replica",
         }
     }
 
@@ -83,6 +92,7 @@ impl ServiceId {
             ServiceId::Nfs => 2,
             ServiceId::Kosha => 3,
             ServiceId::KoshaFs => 4,
+            ServiceId::KoshaReplica => 5,
         }
     }
 
@@ -92,6 +102,7 @@ impl ServiceId {
             2 => Ok(ServiceId::Nfs),
             3 => Ok(ServiceId::Kosha),
             4 => Ok(ServiceId::KoshaFs),
+            5 => Ok(ServiceId::KoshaReplica),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -254,6 +265,27 @@ pub trait Network: Send + Sync {
     /// Performs a blocking RPC from `from` to `to`.
     fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError>;
 
+    /// Performs a batch of RPCs issued concurrently from `from`,
+    /// blocking until every one has completed. Results are returned in
+    /// batch order, each carrying the same success/failure outcome
+    /// [`Network::call`] would have produced for that entry.
+    ///
+    /// Transports overlap the batch: [`crate::SimNetwork`] charges the
+    /// virtual clock the `max` of the per-call latencies instead of
+    /// their sum, and [`crate::ThreadedNetwork`] runs the calls on real
+    /// concurrent threads. The default implementation is serial, which
+    /// is always semantically correct — just slower.
+    fn call_many(
+        &self,
+        from: NodeAddr,
+        batch: Vec<(NodeAddr, RpcRequest)>,
+    ) -> Vec<Result<RpcResponse, RpcError>> {
+        batch
+            .into_iter()
+            .map(|(to, req)| self.call(from, to, req))
+            .collect()
+    }
+
     /// The clock all participants share.
     fn clock(&self) -> Arc<dyn Clock>;
 
@@ -303,12 +335,7 @@ mod tests {
 
     #[test]
     fn service_id_round_trips() {
-        for s in [
-            ServiceId::Pastry,
-            ServiceId::Nfs,
-            ServiceId::Kosha,
-            ServiceId::KoshaFs,
-        ] {
+        for s in ServiceId::ALL {
             let b = s.encode();
             assert_eq!(ServiceId::decode(&b).unwrap(), s);
         }

@@ -18,7 +18,7 @@
 //! naturally. Failure injection: a call to a failed node charges the
 //! configured timeout and returns [`RpcError::Unreachable`].
 
-use crate::clock::{Clock, VirtualClock};
+use crate::clock::{Clock, SimTime, VirtualClock};
 use crate::metrics::NetMetrics;
 use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceMux};
 use kosha_obs::Obs;
@@ -318,6 +318,38 @@ impl Network for SimNetwork {
         result
     }
 
+    /// Concurrent fan-out under virtual time: every call in the batch is
+    /// executed from the same start instant and the clock ends at
+    /// `start + max(per-call elapsed)`, so overlapping RPCs cost the
+    /// slowest one rather than the sum. Each call still runs serially
+    /// under the hood (handlers and their nested RPCs accumulate their
+    /// own charges from the rewound start), which keeps the simulation
+    /// deterministic: results and final time are independent of any
+    /// real-world interleaving.
+    fn call_many(
+        &self,
+        from: NodeAddr,
+        batch: Vec<(NodeAddr, RpcRequest)>,
+    ) -> Vec<Result<RpcResponse, RpcError>> {
+        if batch.len() <= 1 {
+            return batch
+                .into_iter()
+                .map(|(to, req)| self.call(from, to, req))
+                .collect();
+        }
+        let t0 = self.clock.now();
+        let mut max_elapsed = 0u64;
+        let mut out = Vec::with_capacity(batch.len());
+        for (to, req) in batch {
+            self.clock.set(t0);
+            let result = self.call(from, to, req);
+            max_elapsed = max_elapsed.max(self.clock.now().since_nanos(t0));
+            out.push(result);
+        }
+        self.clock.set(SimTime(t0.0.saturating_add(max_elapsed)));
+        out
+    }
+
     fn clock(&self) -> Arc<dyn Clock> {
         Arc::clone(&self.clock) as Arc<dyn Clock>
     }
@@ -405,6 +437,43 @@ mod tests {
             net.call(NodeAddr(1), NodeAddr(99), req),
             Err(RpcError::Unreachable(NodeAddr(99)))
         ));
+    }
+
+    #[test]
+    fn call_many_charges_max_not_sum() {
+        let net = net_with_echo(LatencyModel::default());
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Nfs, Arc::new(Echo));
+        net.attach(NodeAddr(3), mux);
+        let req = RpcRequest::new(ServiceId::Nfs, &7u32);
+        net.call(NodeAddr(1), NodeAddr(2), req.clone()).unwrap();
+        let one = net.clock().now().as_duration();
+        net.virtual_clock().reset();
+        let out = net.call_many(
+            NodeAddr(1),
+            vec![(NodeAddr(2), req.clone()), (NodeAddr(3), req.clone())],
+        );
+        assert!(out.iter().all(Result::is_ok));
+        // Two identical overlapped calls elapse exactly one call's time.
+        assert_eq!(net.clock().now().as_duration(), one);
+    }
+
+    #[test]
+    fn call_many_overlaps_timeout_with_successes() {
+        let net = net_with_echo(LatencyModel::default());
+        net.fail_node(NodeAddr(2));
+        let req = RpcRequest::new(ServiceId::Nfs, &7u32);
+        let out = net.call_many(
+            NodeAddr(1),
+            vec![(NodeAddr(2), req.clone()), (NodeAddr(1), req.clone())],
+        );
+        assert!(matches!(out[0], Err(RpcError::Unreachable(NodeAddr(2)))));
+        assert!(out[1].is_ok());
+        // The dead node's timeout dominates; the loopback rides along.
+        assert_eq!(
+            net.clock().now().as_duration(),
+            LatencyModel::default().timeout
+        );
     }
 
     #[test]
