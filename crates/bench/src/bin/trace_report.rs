@@ -1,0 +1,161 @@
+//! Deterministic causal-trace report over the paper's two hot paths:
+//! replicated writes (the K-replica `call_many` fan-out) and cold deep-
+//! path resolution. Each operation runs under a client root span on the
+//! virtual clock; every NFS procedure, koshad loopback op, control call,
+//! Pastry route, and replica RPC joins the same trace via the RPC wire
+//! header. The collected span trees are reduced to per-op critical-path
+//! breakdowns (parallel replica spans charged as their `max`, not their
+//! sum) and folded stacks.
+//!
+//! Everything runs on seeded ids and the virtual clock, and the report
+//! contains no raw span ids, so two runs emit byte-identical output; the
+//! JSON summary is written to `BENCH_trace.json` for CI's determinism
+//! check.
+
+use kosha::{KoshaConfig, KoshaMount, KoshaNode};
+use kosha_id::node_id_from_seed;
+use kosha_obs::trace::{build_traces, folded_stacks, report_json, TraceTree};
+use kosha_obs::SpanRecord;
+use kosha_rpc::{LatencyModel, Network, NodeAddr, SimNetwork};
+use std::sync::Arc;
+
+const NODES: usize = 8;
+const REPLICAS: usize = 3;
+const WRITE_OPS: usize = 6;
+const WALK_DIR: &str = "/walk/a/b/c/d/e/f";
+
+struct Cluster {
+    net: Arc<SimNetwork>,
+    nodes: Vec<Arc<KoshaNode>>,
+}
+
+fn build_cluster(cfg: KoshaConfig) -> Cluster {
+    let net = SimNetwork::new(LatencyModel::default());
+    let mut nodes = Vec::new();
+    for i in 0..NODES {
+        let id = node_id_from_seed(&format!("kosha-host-{i}"));
+        let (node, mux) = KoshaNode::build(
+            cfg.clone(),
+            id,
+            NodeAddr(i as u64),
+            net.clone() as Arc<dyn Network>,
+        );
+        net.attach(node.addr(), mux);
+        node.join(if i == 0 { None } else { Some(NodeAddr(0)) })
+            .expect("join");
+        nodes.push(node);
+    }
+    Cluster { net, nodes }
+}
+
+/// Drains every span buffer in the cluster (transport + all nodes).
+fn collect_spans(c: &Cluster) -> Vec<SpanRecord> {
+    let mut spans = c.net.obs().tracer.take();
+    for n in &c.nodes {
+        spans.extend(n.obs().tracer.take());
+    }
+    spans
+}
+
+fn mount(c: &Cluster) -> KoshaMount {
+    KoshaMount::new(
+        c.net.clone() as Arc<dyn Network>,
+        c.nodes[0].addr(),
+        c.nodes[0].addr(),
+    )
+    .expect("mount")
+}
+
+/// A trace whose replica fan-out ran in parallel: some span has >= 2
+/// `rpc:replica` children sharing a start instant.
+fn has_parallel_fanout(t: &TraceTree) -> bool {
+    t.spans().iter().any(|parent| {
+        let kids: Vec<&SpanRecord> = t
+            .spans()
+            .iter()
+            .filter(|s| s.parent_id == parent.span_id && s.name == "rpc:replica")
+            .collect();
+        kids.len() >= 2 && kids.iter().all(|s| s.start_nanos == kids[0].start_nanos)
+    })
+}
+
+fn main() {
+    let json_only = std::env::args().any(|a| a == "--json");
+
+    let mut cfg = KoshaConfig::for_tests();
+    cfg.distribution_level = 1;
+    cfg.replicas = REPLICAS;
+    let c = build_cluster(cfg);
+    let m = mount(&c);
+    m.mkdir_p("/repl/data").expect("mkdir");
+    m.mkdir_p(WALK_DIR).expect("mkdir walk");
+    m.write_file(&format!("{WALK_DIR}/leaf"), b"payload")
+        .expect("seed walk file");
+    collect_spans(&c); // discard setup noise
+
+    let clock = c.net.clock();
+    let client = c.nodes[0].addr().0;
+    let tracer_root = |name: &str, f: &mut dyn FnMut()| {
+        c.net.obs().tracer.root(name, client, || clock.now().0, f);
+    };
+
+    // Workload 1: K-replicated writes — the fig-5/fanout hot path.
+    for i in 0..WRITE_OPS {
+        let path = format!("/repl/data/f{i}.bin");
+        tracer_root("write:replicated", &mut || {
+            m.write_file(&path, &[i as u8; 4096]).expect("write");
+        });
+    }
+
+    // Workload 2: cold deep-path resolution (§4.4 failover state): the
+    // gateway holds handles but no cached locations.
+    c.nodes[0].flush_caches();
+    tracer_root("read:deep-cold", &mut || {
+        assert_eq!(
+            m.read_file(&format!("{WALK_DIR}/leaf")).expect("cold read"),
+            b"payload"
+        );
+    });
+
+    let traces = build_traces(collect_spans(&c));
+    assert_eq!(
+        traces.len(),
+        WRITE_OPS + 1,
+        "expected one trace per traced operation"
+    );
+    for t in &traces {
+        let accounted: u64 = t.critical_path().iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            accounted,
+            t.total_nanos(),
+            "critical path must account for the whole root span"
+        );
+    }
+    assert!(
+        traces
+            .iter()
+            .filter(|t| t.root_span().name == "write:replicated")
+            .all(has_parallel_fanout),
+        "replicated writes should fan out to parallel replica RPCs"
+    );
+
+    let json = report_json(&traces);
+    std::fs::write("BENCH_trace.json", format!("{json}\n")).expect("write BENCH_trace.json");
+
+    if json_only {
+        println!("{json}");
+        return;
+    }
+
+    println!("==== causal trace report ====");
+    println!(
+        "cluster: {NODES} nodes, K={REPLICAS}; {} traced ops",
+        traces.len()
+    );
+    println!();
+    println!("folded stacks (span path -> self nanos):");
+    print!("{}", folded_stacks(&traces));
+    println!();
+    println!("{json}");
+    println!("wrote BENCH_trace.json");
+}

@@ -56,6 +56,13 @@ pub struct KoshaConfig {
     /// server crossed the user/kernel boundary several times per RPC;
     /// this models that fixed cost.
     pub koshad_op_cost: Duration,
+    /// Server-side trace sampling: when a request arrives at the koshad
+    /// loopback server with no caller-provided trace context, start a
+    /// root trace for every `trace_sampling`-th such request. `0`
+    /// disables sampling (the default); `1` traces everything. Requests
+    /// that already carry a trace header are always recorded regardless
+    /// of this knob.
+    pub trace_sampling: u64,
 }
 
 impl Default for KoshaConfig {
@@ -74,6 +81,7 @@ impl Default for KoshaConfig {
             read_from_replicas: false,
             compound_lookup: true,
             koshad_op_cost: Duration::from_micros(350),
+            trace_sampling: 0,
         }
     }
 }
@@ -96,6 +104,7 @@ impl KoshaConfig {
             read_from_replicas: false,
             compound_lookup: true,
             koshad_op_cost: Duration::ZERO,
+            trace_sampling: 0,
         }
     }
 }

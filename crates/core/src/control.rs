@@ -290,6 +290,39 @@ pub enum KoshaRequest {
     },
 }
 
+impl KoshaRequest {
+    /// Short stable name of the request kind, used to label trace spans
+    /// (`kosha:{name}` on the control service, `replica:{name}` on the
+    /// replica service) and journal details.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KoshaRequest::CreateFile { .. } => "create_file",
+            KoshaRequest::MkdirLocal { .. } => "mkdir_local",
+            KoshaRequest::MkdirAnchor { .. } => "mkdir_anchor",
+            KoshaRequest::PlaceLink { .. } => "place_link",
+            KoshaRequest::SymlinkFile { .. } => "symlink_file",
+            KoshaRequest::Write { .. } => "write",
+            KoshaRequest::SetAttr { .. } => "setattr",
+            KoshaRequest::Remove { .. } => "remove",
+            KoshaRequest::Rmdir { .. } => "rmdir",
+            KoshaRequest::RmdirAnchor { .. } => "rmdir_anchor",
+            KoshaRequest::RemoveLink { .. } => "remove_link",
+            KoshaRequest::RenameLocal { .. } => "rename_local",
+            KoshaRequest::RenameAnchorDir { .. } => "rename_anchor_dir",
+            KoshaRequest::EnsureAnchor { .. } => "ensure_anchor",
+            KoshaRequest::StoreStats => "store_stats",
+            KoshaRequest::BeginTransfer { .. } => "begin_transfer",
+            KoshaRequest::TransferPut { .. } => "transfer_put",
+            KoshaRequest::CommitTransfer { .. } => "commit_transfer",
+            KoshaRequest::ListAnchors => "list_anchors",
+            KoshaRequest::ReplicaTargets { .. } => "replica_targets",
+            KoshaRequest::MigrateBatch { .. } => "migrate_batch",
+            KoshaRequest::ReplicaApply { .. } => "replica_apply",
+        }
+    }
+}
+
 /// One replicated mutation, shipped by the primary to each replica
 /// holder after it has applied the change to its own store (§4.2).
 /// Paths are full virtual paths; the receiver derives the covering

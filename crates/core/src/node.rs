@@ -12,7 +12,7 @@ use kosha_vfs::Vfs;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Weak};
 
 /// Client-side (interposition) state: the virtual handle table and the
@@ -49,10 +49,9 @@ pub struct KoshaNode {
     pub(crate) read_rr: std::sync::atomic::AtomicU64,
     /// Operational counters (handles into `obs`'s registry).
     pub(crate) stats: KoshaStats,
-    /// Replica targets whose last mirror attempt failed (already
-    /// journaled). A later success clears the entry so a fresh failure
-    /// episode is journaled again.
-    pub(crate) mirror_failed: Mutex<HashSet<NodeAddr>>,
+    /// Counts requests arriving at the koshad loopback server without a
+    /// caller trace, for [`KoshaConfig::trace_sampling`].
+    pub(crate) trace_seq: std::sync::atomic::AtomicU64,
     /// Per-node observability domain, shared by this koshad's overlay
     /// endpoint, NFS server/client, and interposition layer so their
     /// metrics and journal events correlate.
@@ -107,6 +106,7 @@ impl KoshaNode {
                 meta_op_cost: cfg.disk_meta_op,
             },
             &obs,
+            addr,
         );
         let pastry = PastryNode::new_with_obs(
             PastryConfig {
@@ -125,7 +125,7 @@ impl KoshaNode {
             salt_rng: Mutex::new(StdRng::seed_from_u64(id.0 as u64)),
             read_rr: std::sync::atomic::AtomicU64::new(0),
             stats: KoshaStats::new(&obs),
-            mirror_failed: Mutex::new(HashSet::new()),
+            trace_seq: std::sync::atomic::AtomicU64::new(0),
             obs,
             cfg,
             net,

@@ -748,6 +748,39 @@ impl RpcHandler for VirtualFs {
     fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
         let req = NfsRequest::decode(body)?;
         let k = &self.0;
+        let proc = req.proc_name();
+        let clock = k.net.clock();
+        // Server span for the koshad loopback op. Requests arriving with
+        // a caller trace always record a child span; untraced requests
+        // start a sampled root per [`KoshaConfig::trace_sampling`].
+        let frame = if kosha_obs::trace::current().is_some() {
+            k.obs.tracer.child(
+                || format!("koshafs:{proc}"),
+                k.info.addr.0,
+                || clock.now().0,
+                || self.execute(req),
+            )
+        } else if k.cfg.trace_sampling > 0
+            && k.trace_seq
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                .is_multiple_of(k.cfg.trace_sampling)
+        {
+            k.obs.tracer.root(
+                format!("koshafs:{proc}"),
+                k.info.addr.0,
+                || clock.now().0,
+                || self.execute(req),
+            )
+        } else {
+            self.execute(req)
+        };
+        Ok(RpcResponse::new(&frame))
+    }
+}
+
+impl VirtualFs {
+    fn execute(&self, req: NfsRequest) -> NfsReplyFrame {
+        let k = &self.0;
         // Fixed interposition cost of the user-level loopback server
         // (the `I` term of the Section 6.1.2 overhead model).
         k.net.clock().advance(k.cfg.koshad_op_cost);
@@ -894,6 +927,6 @@ impl RpcHandler for VirtualFs {
                 NfsRequest::LookupPath { .. } => return Err(NfsStatus::NotSupp),
             })
         })();
-        Ok(RpcResponse::new(&NfsReplyFrame(result)))
+        NfsReplyFrame(result)
     }
 }

@@ -132,40 +132,46 @@ impl KoshaNode {
 
     /// Fans one replicated mutation out to every replica target
     /// concurrently (§4.2) as a single `ReplicaApply` control RPC per
-    /// target on the dedicated replica service. Failures are counted and
-    /// journaled (first per target) so degraded replication is visible;
-    /// the next full push ([`Self::ensure_replicas`]) heals the copy.
+    /// target on the dedicated replica service. Every failed target is
+    /// counted and journaled with its node id (and, via the journal's
+    /// ambient-trace stamping, linked to the active trace) so degraded
+    /// replication is fully attributable; the next full push
+    /// ([`Self::ensure_replicas`]) heals the copy.
     fn mirror_op(&self, op: ReplicaOp) {
         let targets = self.replica_addrs();
         if targets.is_empty() {
             return;
         }
-        let req = RpcRequest::new(ServiceId::KoshaReplica, &KoshaRequest::ReplicaApply { op });
-        let batch = targets.iter().map(|a| (*a, req.clone())).collect();
-        let results = self.net.call_many(self.info.addr, batch);
-        for (addr, result) in targets.into_iter().zip(results) {
-            self.note_mirror_result(addr, mirror_succeeded(result));
-        }
+        let clock = self.net.clock();
+        self.obs.tracer.child(
+            || "kosha:mirror".to_string(),
+            self.info.addr.0,
+            || clock.now().0,
+            || {
+                let req =
+                    RpcRequest::new(ServiceId::KoshaReplica, &KoshaRequest::ReplicaApply { op });
+                let batch = targets.iter().map(|a| (*a, req.clone())).collect();
+                let results = self.net.call_many(self.info.addr, batch);
+                for (addr, result) in targets.into_iter().zip(results) {
+                    self.note_mirror_result(addr, mirror_succeeded(result));
+                }
+            },
+        );
     }
 
-    /// Records one replica target's mirror outcome: failures bump
-    /// `replica_mirror_failures` and journal the first miss per target;
-    /// a later success re-arms the journaling for that target.
+    /// Records one replica target's mirror outcome: every failure bumps
+    /// `replica_mirror_failures` and journals the missed target's node
+    /// id, so a batch that loses several replicas reports all of them,
+    /// not just the first.
     fn note_mirror_result(&self, addr: NodeAddr, ok: bool) {
-        let mut failed = self.mirror_failed.lock();
         if ok {
-            failed.remove(&addr);
             return;
         }
         self.stats.replica_mirror_failures.inc();
-        let first = failed.insert(addr);
-        drop(failed);
-        if first {
-            self.journal(
-                "mirror_failure",
-                format!("replica on {addr} missed a mirrored mutation"),
-            );
-        }
+        self.journal(
+            "mirror_failure",
+            format!("replica on node {} missed a mirrored mutation", addr.0),
+        );
     }
 
     /// Pushes a full, fresh copy of `anchor` to every replica target in
@@ -197,15 +203,23 @@ impl KoshaNode {
                 items,
             },
         );
-        let batch = targets.iter().map(|a| (*a, req.clone())).collect();
-        let results = self.net.call_many(self.info.addr, batch);
-        for (addr, result) in targets.into_iter().zip(results) {
-            let ok = mirror_succeeded(result);
-            if ok {
-                self.stats.replica_pushes.inc();
-            }
-            self.note_mirror_result(addr, ok);
-        }
+        let clock = self.net.clock();
+        self.obs.tracer.child(
+            || "kosha:replica_push".to_string(),
+            self.info.addr.0,
+            || clock.now().0,
+            || {
+                let batch = targets.iter().map(|a| (*a, req.clone())).collect();
+                let results = self.net.call_many(self.info.addr, batch);
+                for (addr, result) in targets.into_iter().zip(results) {
+                    let ok = mirror_succeeded(result);
+                    if ok {
+                        self.stats.replica_pushes.inc();
+                    }
+                    self.note_mirror_result(addr, ok);
+                }
+            },
+        );
     }
 
     // ---- the replica service (receiving side) -----------------------------
@@ -1195,7 +1209,15 @@ fn default_routing(anchor: &str) -> String {
 impl RpcHandler for ControlService {
     fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
         let req = KoshaRequest::decode(body)?;
-        let result = self.0.handle_control(req);
+        let k = &self.0;
+        let name = req.name();
+        let clock = k.net.clock();
+        let result = k.obs.tracer.child(
+            || format!("kosha:{name}"),
+            k.info.addr.0,
+            || clock.now().0,
+            || k.handle_control(req),
+        );
         Ok(RpcResponse::new(&KoshaReplyFrame(result)))
     }
 }
@@ -1203,7 +1225,15 @@ impl RpcHandler for ControlService {
 impl RpcHandler for ReplicaService {
     fn handle(&self, _from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
         let req = KoshaRequest::decode(body)?;
-        let result = self.0.handle_replica(req);
+        let k = &self.0;
+        let name = req.name();
+        let clock = k.net.clock();
+        let result = k.obs.tracer.child(
+            || format!("replica:{name}"),
+            k.info.addr.0,
+            || clock.now().0,
+            || k.handle_replica(req),
+        );
         Ok(RpcResponse::new(&KoshaReplyFrame(result)))
     }
 }

@@ -51,6 +51,8 @@ pub struct NfsClient {
     from: NodeAddr,
     service: ServiceId,
     metrics: Option<Arc<ProcMetrics>>,
+    /// When observed, client spans (`nfsc:{proc}`) are recorded here.
+    obs: Option<Arc<Obs>>,
 }
 
 impl NfsClient {
@@ -69,15 +71,18 @@ impl NfsClient {
             from,
             service,
             metrics: None,
+            obs: None,
         }
     }
 
     /// Enables per-procedure latency metrics
     /// (`nfs_client_latency_nanos{proc=...}`, measured on the transport
-    /// clock) recorded into `obs`. Chainable after either constructor.
+    /// clock) and client-side trace spans (`nfsc:{proc}`), both recorded
+    /// into `obs`. Chainable after either constructor.
     #[must_use]
-    pub fn observed(mut self, obs: &Obs) -> Self {
+    pub fn observed(mut self, obs: &Arc<Obs>) -> Self {
         self.metrics = Some(Arc::new(ProcMetrics::new(obs)));
+        self.obs = Some(Arc::clone(obs));
         self
     }
 
@@ -88,6 +93,21 @@ impl NfsClient {
     }
 
     fn call(&self, to: NodeAddr, req: &NfsRequest) -> NfsResult<NfsReply> {
+        match &self.obs {
+            None => self.call_inner(to, req),
+            Some(obs) => {
+                let clock = self.net.clock();
+                obs.tracer.child(
+                    || format!("nfsc:{}", req.proc_name()),
+                    self.from.0,
+                    || clock.now().0,
+                    || self.call_inner(to, req),
+                )
+            }
+        }
+    }
+
+    fn call_inner(&self, to: NodeAddr, req: &NfsRequest) -> NfsResult<NfsReply> {
         let rpc = RpcRequest::new(self.service, req);
         let resp = match &self.metrics {
             None => self.net.call(self.from, to, rpc)?,

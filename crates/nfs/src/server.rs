@@ -56,6 +56,10 @@ pub struct NfsServer {
     /// Per-procedure op counters (`nfs_server_ops_total{proc=...}`),
     /// indexed by [`NfsRequest::proc_index`]. Empty when unobserved.
     ops: Vec<Arc<Counter>>,
+    /// When observed, server spans (`nfs:{proc}`) are recorded here,
+    /// attributed to `addr`.
+    obs: Option<Arc<Obs>>,
+    addr: NodeAddr,
 }
 
 impl NfsServer {
@@ -66,12 +70,22 @@ impl NfsServer {
             clock,
             disk,
             ops: Vec::new(),
+            obs: None,
+            addr: NodeAddr(0),
         })
     }
 
     /// Like [`NfsServer::new`], but counting every executed procedure
-    /// into `obs` as `nfs_server_ops_total{proc=...}`.
-    pub fn new_with_obs(vfs: Vfs, clock: Arc<dyn Clock>, disk: DiskModel, obs: &Obs) -> Arc<Self> {
+    /// into `obs` as `nfs_server_ops_total{proc=...}` and, when a trace
+    /// is active, recording a server span (`nfs:{proc}`) attributed to
+    /// the serving node `addr`.
+    pub fn new_with_obs(
+        vfs: Vfs,
+        clock: Arc<dyn Clock>,
+        disk: DiskModel,
+        obs: &Arc<Obs>,
+        addr: NodeAddr,
+    ) -> Arc<Self> {
         let ops = NfsRequest::PROC_NAMES
             .iter()
             .map(|p| {
@@ -84,6 +98,8 @@ impl NfsServer {
             clock,
             disk,
             ops,
+            obs: Some(Arc::clone(obs)),
+            addr,
         })
     }
 
@@ -103,6 +119,21 @@ impl NfsServer {
     }
 
     fn execute(&self, req: NfsRequest) -> NfsReplyFrame {
+        match &self.obs {
+            None => self.execute_inner(req),
+            Some(obs) => {
+                let proc = req.proc_name();
+                obs.tracer.child(
+                    || format!("nfs:{proc}"),
+                    self.addr.0,
+                    || self.clock.now().0,
+                    || self.execute_inner(req),
+                )
+            }
+        }
+    }
+
+    fn execute_inner(&self, req: NfsRequest) -> NfsReplyFrame {
         if let Some(c) = self.ops.get(req.proc_index()) {
             c.inc();
         }

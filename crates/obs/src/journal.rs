@@ -25,6 +25,10 @@ pub struct Event {
     pub kind: &'static str,
     /// Operation id correlating events across layers (0 = none).
     pub op_id: u64,
+    /// Trace active when the event was recorded (0 = none): stamped
+    /// automatically from the thread's ambient [`crate::trace`] context
+    /// so journal lines correlate with collected span trees.
+    pub trace_id: u64,
     /// Human-readable detail.
     pub detail: String,
 }
@@ -35,7 +39,11 @@ impl std::fmt::Display for Event {
             f,
             "[{:>12}ns] n{} #{} {}: {}",
             self.t_nanos, self.node, self.op_id, self.kind, self.detail
-        )
+        )?;
+        if self.trace_id != 0 {
+            write!(f, " trace={:#x}", self.trace_id)?;
+        }
+        Ok(())
     }
 }
 
@@ -80,6 +88,7 @@ impl Journal {
             node,
             kind,
             op_id,
+            trace_id: crate::trace::current().map_or(0, |c| c.trace_id),
             detail: detail.into(),
         };
         let mut ring = self.ring.lock().expect("journal lock");
@@ -146,6 +155,24 @@ mod tests {
         assert_eq!(recent.len(), 3);
         assert_eq!(recent[0].seq, 3);
         assert_eq!(recent[2].seq, 5);
+    }
+
+    #[test]
+    fn events_link_to_the_active_trace() {
+        let j = Journal::new(4);
+        j.record(1, 1, "plain", 0, "outside any trace");
+        let ctx = crate::trace::SpanContext {
+            trace_id: 0xAB,
+            span_id: 0xAB,
+        };
+        crate::trace::with_context(Some(ctx), || {
+            j.record(2, 1, "linked", 0, "inside a trace");
+        });
+        let events = j.recent(4);
+        assert_eq!(events[0].trace_id, 0);
+        assert_eq!(events[1].trace_id, 0xAB);
+        assert!(events[1].to_string().contains("trace=0xab"));
+        assert!(!events[0].to_string().contains("trace="));
     }
 
     #[test]

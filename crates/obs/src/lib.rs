@@ -14,7 +14,11 @@
 //!   compact JSON dump ([`Registry::to_json`]) for benches,
 //! * [`Journal`] — a bounded ring buffer of structured events stamped
 //!   with the transport clock ([`crate::journal::Event`]) and an op-id
-//!   for causality, scoped per node.
+//!   for causality, scoped per node,
+//! * [`trace`] — Dapper-style causal tracing: per-node span buffers
+//!   ([`Tracer`]) whose ids propagate through the RPC wire header, plus
+//!   a collector/analyzer that reconstructs span trees and attributes
+//!   critical-path time (parallel fan-out charged as `max`, not sum).
 //!
 //! The crate has zero dependencies (it sits *below* `kosha-rpc` in the
 //! dependency graph, so every layer can use it). Time is plain `u64`
@@ -28,10 +32,12 @@
 pub mod histogram;
 pub mod journal;
 pub mod registry;
+pub mod trace;
 
 pub use histogram::Histogram;
 pub use journal::{Event, Journal};
 pub use registry::{Counter, Gauge, Registry};
+pub use trace::{SpanContext, SpanRecord, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,6 +51,8 @@ pub struct Obs {
     pub registry: Registry,
     /// Structured event ring.
     pub journal: Journal,
+    /// Causal-trace span buffer (see [`trace`]).
+    pub tracer: Tracer,
     next_op: AtomicU64,
 }
 
@@ -67,6 +75,7 @@ impl Obs {
         Obs {
             registry: Registry::new(),
             journal: Journal::new(capacity),
+            tracer: Tracer::default(),
             next_op: AtomicU64::new(1),
         }
     }

@@ -534,7 +534,13 @@ impl PastryNode {
     /// closest. Returns the owner and the number of overlay hops taken
     /// (0 when this node owns the key).
     pub fn route(&self, key: Id) -> Result<(NodeInfo, usize), OverlayError> {
-        let result = self.route_inner(key);
+        let clock = self.net.clock();
+        let result = self.obs.tracer.child(
+            || "pastry:route".to_string(),
+            self.info.addr.0,
+            || clock.now().0,
+            || self.route_inner(key),
+        );
         match &result {
             Ok((_, hops)) => self.metrics.route_hops.record(*hops as u64),
             Err(_) => self.metrics.route_failures.inc(),

@@ -35,6 +35,7 @@ pub mod wire;
 pub use clock::{Clock, SimTime, VirtualClock, WallClock};
 pub use network::{
     Network, NodeAddr, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId, ServiceMux,
+    TraceHeader,
 };
 pub use simnet::{LatencyModel, NetStats, SimNetwork};
 pub use threadnet::ThreadedNetwork;

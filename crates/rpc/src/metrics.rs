@@ -17,7 +17,7 @@
 //! relaxed atomic adds with no locking.
 
 use crate::network::ServiceId;
-use kosha_obs::{Counter, Histogram, Obs};
+use kosha_obs::{Counter, Gauge, Histogram, Obs};
 use std::sync::Arc;
 
 /// Metric handles for one destination service.
@@ -27,12 +27,35 @@ pub(crate) struct SvcMetrics {
     pub failed: Arc<Counter>,
     pub bytes: Arc<Counter>,
     pub latency: Arc<Histogram>,
+    /// Calls currently in flight (`rpc_inflight{service=...}`): raised
+    /// on entry to `call`, lowered on exit, so fan-out depth is visible
+    /// live without tracing enabled.
+    pub inflight: Arc<Gauge>,
+}
+
+/// RAII guard: decrements an inflight gauge on drop (early returns and
+/// handler panics both lower it).
+pub(crate) struct InflightGuard(Arc<Gauge>);
+
+impl InflightGuard {
+    pub fn enter(g: &Arc<Gauge>) -> Self {
+        g.add(1);
+        InflightGuard(Arc::clone(g))
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.add(-1);
+    }
 }
 
 /// All per-service handles plus the owning [`Obs`] domain.
 pub(crate) struct NetMetrics {
     obs: Arc<Obs>,
     per_service: Vec<SvcMetrics>,
+    /// Sizes of `call_many` batches (`rpc_fanout_batch_size`).
+    pub fanout_batch: Arc<Histogram>,
 }
 
 impl NetMetrics {
@@ -58,15 +81,28 @@ impl NetMetrics {
                     latency: obs
                         .registry
                         .histogram(&format!("rpc_latency_nanos{{service=\"{l}\"}}")),
+                    inflight: obs
+                        .registry
+                        .gauge(&format!("rpc_inflight{{service=\"{l}\"}}")),
                 }
             })
             .collect();
-        NetMetrics { obs, per_service }
+        let fanout_batch = obs.registry.histogram("rpc_fanout_batch_size");
+        NetMetrics {
+            obs,
+            per_service,
+            fanout_batch,
+        }
     }
 
     /// The observability domain (for exposition and tests).
     pub fn obs(&self) -> Arc<Obs> {
         Arc::clone(&self.obs)
+    }
+
+    /// The transport's span buffer (RPC client spans land here).
+    pub fn tracer(&self) -> &kosha_obs::Tracer {
+        &self.obs.tracer
     }
 
     /// Handles for one service.
@@ -97,6 +133,36 @@ mod tests {
                 .registry
                 .counter("rpc_calls_total{service=\"nfs\"}")
                 .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_guard_lifetime() {
+        let m = NetMetrics::new();
+        let g = &m.svc(ServiceId::KoshaReplica).inflight;
+        assert_eq!(g.get(), 0);
+        {
+            let _a = InflightGuard::enter(g);
+            let _b = InflightGuard::enter(g);
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+        assert_eq!(
+            m.obs()
+                .registry
+                .gauge("rpc_inflight{service=\"replica\"}")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn fanout_batch_histogram_is_registered() {
+        let m = NetMetrics::new();
+        m.fanout_batch.record(3);
+        assert_eq!(
+            m.obs().registry.histogram("rpc_fanout_batch_size").count(),
             1
         );
     }

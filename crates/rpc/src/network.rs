@@ -82,6 +82,19 @@ impl ServiceId {
         }
     }
 
+    /// Static span name for transport-level RPC spans (`rpc:<service>`),
+    /// precomputed so the traced call path allocates nothing extra.
+    #[must_use]
+    pub fn rpc_span_name(self) -> &'static str {
+        match self {
+            ServiceId::Pastry => "rpc:pastry",
+            ServiceId::Nfs => "rpc:nfs",
+            ServiceId::Kosha => "rpc:kosha",
+            ServiceId::KoshaFs => "rpc:koshafs",
+            ServiceId::KoshaReplica => "rpc:replica",
+        }
+    }
+
     pub(crate) fn index(self) -> usize {
         self.tag() as usize - 1
     }
@@ -119,11 +132,68 @@ impl WireRead for ServiceId {
     }
 }
 
-/// A request frame: destination service plus an opaque encoded body.
+/// Optional causal-trace identifiers carried on a request frame
+/// (Dapper-style propagation; see `kosha_obs::trace`). Absent on
+/// untraced requests and on frames from pre-trace peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Trace the request belongs to.
+    pub trace_id: u64,
+    /// The caller-side span that issued the request (the parent of any
+    /// server-side spans).
+    pub span_id: u64,
+}
+
+impl TraceHeader {
+    /// Converts to the obs-layer span context.
+    #[must_use]
+    pub fn ctx(self) -> kosha_obs::SpanContext {
+        kosha_obs::SpanContext {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+        }
+    }
+
+    /// Builds a header from a span context.
+    #[must_use]
+    pub fn from_ctx(ctx: kosha_obs::SpanContext) -> Self {
+        TraceHeader {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+        }
+    }
+}
+
+impl WireWrite for TraceHeader {
+    fn write(&self, w: &mut Writer) {
+        w.u64(self.trace_id);
+        w.u64(self.span_id);
+    }
+}
+impl WireRead for TraceHeader {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TraceHeader {
+            trace_id: r.u64()?,
+            span_id: r.u64()?,
+        })
+    }
+}
+
+/// Frame-format marker for requests carrying optional headers. Legacy
+/// frames start with a raw service tag (1–5); the marker is outside
+/// that range, so a decoder accepts both formats (see
+/// [`RpcRequest::read`]'s docs).
+const FRAME_V2: u8 = 0x7E;
+
+/// A request frame: destination service plus an opaque encoded body,
+/// optionally stamped with a [`TraceHeader`].
 #[derive(Debug, Clone)]
 pub struct RpcRequest {
     /// Which protocol layer should handle the body.
     pub service: ServiceId,
+    /// Causal-trace header, stamped by the transport from the caller's
+    /// ambient context (`None` when tracing is off / no trace active).
+    pub trace: Option<TraceHeader>,
     /// Encoded request payload (layer-specific message type).
     pub body: Bytes,
 }
@@ -133,15 +203,76 @@ impl RpcRequest {
     pub fn new<T: WireWrite>(service: ServiceId, msg: &T) -> Self {
         RpcRequest {
             service,
+            trace: None,
             body: msg.encode(),
         }
     }
 
-    /// Total frame size in bytes (header + body), used for byte accounting.
+    /// Total frame size in bytes (header + body), used for byte
+    /// accounting. Untraced requests use the legacy frame layout, so
+    /// enabling tracing does not change the modeled cost of untraced
+    /// traffic.
     #[must_use]
     pub fn wire_size(&self) -> usize {
-        // service tag + u32 length + body
-        1 + 4 + self.body.len()
+        match self.trace {
+            // service tag + u32 length + body
+            None => 1 + 4 + self.body.len(),
+            // marker + flags + service tag + trace ids + u32 length + body
+            Some(_) => 1 + 1 + 1 + 16 + 4 + self.body.len(),
+        }
+    }
+}
+
+/// Frame flag bit: a [`TraceHeader`] follows the service tag.
+const FLAG_TRACE: u8 = 0x01;
+
+impl WireWrite for RpcRequest {
+    /// Encodes the frame. Untraced requests keep the legacy layout
+    /// (`service tag, body`) byte-for-byte; traced requests use the v2
+    /// layout (`FRAME_V2, flags, service tag, trace header, body`).
+    fn write(&self, w: &mut Writer) {
+        match self.trace {
+            None => {
+                self.service.write(w);
+                w.bytes(&self.body);
+            }
+            Some(h) => {
+                w.u8(FRAME_V2);
+                w.u8(FLAG_TRACE);
+                self.service.write(w);
+                h.write(w);
+                w.bytes(&self.body);
+            }
+        }
+    }
+}
+
+impl WireRead for RpcRequest {
+    /// Decodes either frame format: a leading service tag (1–5) selects
+    /// the legacy layout — frames from peers that predate the trace
+    /// header decode with `trace: None` — while [`FRAME_V2`] selects
+    /// the extended layout.
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let first = r.u8()?;
+        if first != FRAME_V2 {
+            return Ok(RpcRequest {
+                service: ServiceId::from_tag(first)?,
+                trace: None,
+                body: Bytes::from(r.bytes()?),
+            });
+        }
+        let flags = r.u8()?;
+        let service = ServiceId::read(r)?;
+        let trace = if flags & FLAG_TRACE != 0 {
+            Some(TraceHeader::read(r)?)
+        } else {
+            None
+        };
+        Ok(RpcRequest {
+            service,
+            trace,
+            body: Bytes::from(r.bytes()?),
+        })
     }
 }
 
@@ -348,5 +479,60 @@ mod tests {
         assert_eq!(req.wire_size(), 1 + 4 + 8);
         let resp = RpcResponse::new(&7u32);
         assert_eq!(resp.wire_size(), 4 + 4);
+        let traced = RpcRequest {
+            trace: Some(TraceHeader {
+                trace_id: 1,
+                span_id: 2,
+            }),
+            ..req
+        };
+        assert_eq!(traced.wire_size(), 3 + 16 + 4 + 8);
+    }
+
+    #[test]
+    fn untraced_frame_keeps_legacy_layout() {
+        // An untraced request encodes exactly as the pre-header codec
+        // did: service tag, then length-prefixed body.
+        let req = RpcRequest::new(ServiceId::Kosha, &0xBEEFu32);
+        let frame = req.encode();
+        let mut legacy = Writer::new();
+        legacy.u8(3); // Kosha's service tag
+        legacy.bytes(&req.body);
+        assert_eq!(&frame[..], &legacy.finish()[..]);
+        assert_eq!(frame.len(), req.wire_size());
+    }
+
+    #[test]
+    fn legacy_frame_decodes_without_trace() {
+        // A frame produced by a pre-trace peer (raw service tag first)
+        // must decode against the new codec, with no trace header.
+        let mut w = Writer::new();
+        w.u8(2); // Nfs
+        w.bytes(&42u64.encode());
+        let decoded = RpcRequest::decode(&w.finish()).unwrap();
+        assert_eq!(decoded.service, ServiceId::Nfs);
+        assert_eq!(decoded.trace, None);
+        assert_eq!(u64::decode(&decoded.body).unwrap(), 42);
+    }
+
+    #[test]
+    fn traced_frame_round_trips() {
+        let mut req = RpcRequest::new(ServiceId::KoshaReplica, &7u8);
+        req.trace = Some(TraceHeader {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 0xFEED,
+        });
+        let frame = req.encode();
+        assert_eq!(frame.len(), req.wire_size());
+        let back = RpcRequest::decode(&frame).unwrap();
+        assert_eq!(back.service, req.service);
+        assert_eq!(back.trace, req.trace);
+        assert_eq!(back.body, req.body);
+    }
+
+    #[test]
+    fn bad_frame_marker_is_rejected() {
+        assert!(RpcRequest::decode(&[9, 0, 0, 0, 0]).is_err());
+        assert!(RpcRequest::decode(&[]).is_err());
     }
 }

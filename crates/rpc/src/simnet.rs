@@ -20,8 +20,10 @@
 
 use crate::clock::{Clock, SimTime, VirtualClock};
 use crate::metrics::NetMetrics;
-use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceMux};
-use kosha_obs::Obs;
+use crate::network::{
+    Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceMux, TraceHeader,
+};
+use kosha_obs::{trace, Obs};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -259,11 +261,18 @@ impl SimNetwork {
     }
 }
 
-impl Network for SimNetwork {
-    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError> {
+impl SimNetwork {
+    /// The untraced call path (also the body of every traced call).
+    fn call_inner(
+        &self,
+        from: NodeAddr,
+        to: NodeAddr,
+        req: RpcRequest,
+    ) -> Result<RpcResponse, RpcError> {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         let svc = self.metrics.svc(req.service);
         svc.calls.inc();
+        let _inflight = crate::metrics::InflightGuard::enter(&svc.inflight);
         let start = self.clock.now();
 
         let is_down = self.down.read().contains(&to);
@@ -285,7 +294,8 @@ impl Network for SimNetwork {
             self.stats.local_calls.fetch_add(1, Ordering::Relaxed);
             svc.local.inc();
             self.clock.advance(self.model.loopback_cost);
-            let result = mux.dispatch(from, &req);
+            let result =
+                trace::with_context(req.trace.map(TraceHeader::ctx), || mux.dispatch(from, &req));
             if result.is_err() {
                 svc.failed.inc();
             }
@@ -300,7 +310,12 @@ impl Network for SimNetwork {
         self.clock
             .advance(link + self.model.transfer_time(req_bytes));
         self.clock.advance(self.model.server_op_cost);
-        let result = mux.dispatch(from, &req);
+        // Install the request's trace header as the handler's ambient
+        // context: on this same-thread transport the caller's context is
+        // usually already in scope, but stamping from the header keeps
+        // the semantics identical to a cross-thread transport.
+        let result =
+            trace::with_context(req.trace.map(TraceHeader::ctx), || mux.dispatch(from, &req));
         let resp_bytes = match &result {
             Ok(r) => r.wire_size(),
             Err(_) => 16,
@@ -317,6 +332,31 @@ impl Network for SimNetwork {
         svc.latency.record(self.clock.now().since_nanos(start));
         result
     }
+}
+
+impl Network for SimNetwork {
+    fn call(
+        &self,
+        from: NodeAddr,
+        to: NodeAddr,
+        mut req: RpcRequest,
+    ) -> Result<RpcResponse, RpcError> {
+        // When a trace is active on the calling thread, wrap the RPC in
+        // a client span (timed on the virtual clock, so it covers the
+        // full modeled round trip) and stamp the child context into the
+        // wire header. With no active trace this records nothing and
+        // leaves the frame in the legacy layout.
+        let span_name = req.service.rpc_span_name();
+        self.metrics.tracer().child_with(
+            || span_name.to_string(),
+            from.0,
+            || self.clock.now().0,
+            |ctx| {
+                req.trace = ctx.map(TraceHeader::from_ctx);
+                self.call_inner(from, to, req)
+            },
+        )
+    }
 
     /// Concurrent fan-out under virtual time: every call in the batch is
     /// executed from the same start instant and the clock ends at
@@ -331,12 +371,17 @@ impl Network for SimNetwork {
         from: NodeAddr,
         batch: Vec<(NodeAddr, RpcRequest)>,
     ) -> Vec<Result<RpcResponse, RpcError>> {
+        self.metrics.fanout_batch.record(batch.len() as u64);
         if batch.len() <= 1 {
             return batch
                 .into_iter()
                 .map(|(to, req)| self.call(from, to, req))
                 .collect();
         }
+        // Each entry's client span starts from the rewound `t0`, so a
+        // traced fan-out records its per-target RPCs as overlapping
+        // parallel siblings — exactly what the critical-path analyzer
+        // charges as `max`, matching the clock accounting below.
         let t0 = self.clock.now();
         let mut max_elapsed = 0u64;
         let mut out = Vec::with_capacity(batch.len());

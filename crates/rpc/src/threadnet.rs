@@ -17,9 +17,11 @@
 
 use crate::clock::{Clock, WallClock};
 use crate::metrics::NetMetrics;
-use crate::network::{Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux};
+use crate::network::{
+    Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux, TraceHeader,
+};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use kosha_obs::Obs;
+use kosha_obs::{trace, Obs};
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -99,7 +101,11 @@ impl ThreadedNetwork {
                     while let Ok(mail) = rx.recv() {
                         match mail {
                             Mail::Request { from, req, reply } => {
-                                let resp = handler.handle(from, &req.body);
+                                // Bridge the caller's trace onto this
+                                // mailbox thread from the wire header.
+                                let ctx = req.trace.map(TraceHeader::ctx);
+                                let resp =
+                                    trace::with_context(ctx, || handler.handle(from, &req.body));
                                 // The caller may have timed out; ignore.
                                 let _ = reply.send(resp);
                             }
@@ -156,10 +162,17 @@ impl Drop for ThreadedNetwork {
     }
 }
 
-impl Network for ThreadedNetwork {
-    fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError> {
+impl ThreadedNetwork {
+    /// The untraced call path (also the body of every traced call).
+    fn call_inner(
+        &self,
+        from: NodeAddr,
+        to: NodeAddr,
+        req: RpcRequest,
+    ) -> Result<RpcResponse, RpcError> {
         let svc = self.metrics.svc(req.service);
         svc.calls.inc();
+        let _inflight = crate::metrics::InflightGuard::enter(&svc.inflight);
         let start = self.clock.now();
         if from == to {
             svc.local.inc();
@@ -206,26 +219,55 @@ impl Network for ThreadedNetwork {
         svc.latency.record(self.clock.now().since_nanos(start));
         result
     }
+}
+
+impl Network for ThreadedNetwork {
+    fn call(
+        &self,
+        from: NodeAddr,
+        to: NodeAddr,
+        mut req: RpcRequest,
+    ) -> Result<RpcResponse, RpcError> {
+        // When a trace is active on this thread, wrap the RPC in a
+        // client span (wall-clock timed) and stamp the child context
+        // into the wire header so the mailbox thread can pick it up.
+        let span_name = req.service.rpc_span_name();
+        self.metrics.tracer().child_with(
+            || span_name.to_string(),
+            from.0,
+            || self.clock.now().0,
+            |ctx| {
+                req.trace = ctx.map(TraceHeader::from_ctx);
+                self.call_inner(from, to, req)
+            },
+        )
+    }
 
     /// Concurrent fan-out on real threads: one scoped worker per batch
     /// entry, joined in order. Calls to distinct (node, service)
     /// mailboxes genuinely overlap; calls that share a mailbox still
-    /// serialize behind its single thread, as on a real machine.
+    /// serialize behind its single thread, as on a real machine. The
+    /// caller's trace context is re-installed on each worker thread, so
+    /// traced fan-outs record parallel sibling spans.
     fn call_many(
         &self,
         from: NodeAddr,
         batch: Vec<(NodeAddr, RpcRequest)>,
     ) -> Vec<Result<RpcResponse, RpcError>> {
+        self.metrics.fanout_batch.record(batch.len() as u64);
         if batch.len() <= 1 {
             return batch
                 .into_iter()
                 .map(|(to, req)| self.call(from, to, req))
                 .collect();
         }
+        let ctx = trace::current();
         std::thread::scope(|s| {
             let workers: Vec<_> = batch
                 .into_iter()
-                .map(|(to, req)| s.spawn(move || self.call(from, to, req)))
+                .map(|(to, req)| {
+                    s.spawn(move || trace::with_context(ctx, || self.call(from, to, req)))
+                })
                 .collect();
             workers
                 .into_iter()
@@ -262,6 +304,7 @@ mod tests {
     fn req() -> RpcRequest {
         RpcRequest {
             service: ServiceId::Kosha,
+            trace: None,
             body: Bytes::new(),
         }
     }
@@ -304,6 +347,7 @@ mod tests {
                     NodeAddr(1),
                     RpcRequest {
                         service: ServiceId::Nfs,
+                        trace: None,
                         body: Bytes::new(),
                     },
                 )
@@ -325,6 +369,7 @@ mod tests {
                 NodeAddr(1),
                 RpcRequest {
                     service: ServiceId::KoshaFs,
+                    trace: None,
                     body: Bytes::new(),
                 },
             )
@@ -390,6 +435,57 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_crosses_threads_and_fanout() {
+        // A handler that proves it ran under the caller's trace by
+        // echoing the ambient trace id back.
+        struct EchoTrace;
+        impl RpcHandler for EchoTrace {
+            fn handle(&self, _from: NodeAddr, _body: &[u8]) -> Result<RpcResponse, RpcError> {
+                let tid = kosha_obs::trace::current().map_or(0, |c| c.trace_id);
+                Ok(RpcResponse::new(&tid))
+            }
+        }
+
+        let net = ThreadedNetwork::new(Duration::from_secs(5));
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Kosha, Arc::new(EchoTrace));
+        mux.register(ServiceId::KoshaReplica, Arc::new(EchoTrace));
+        net.attach(NodeAddr(1), mux);
+
+        let obs = net.obs();
+        let now = std::time::Instant::now();
+        let wall = move || now.elapsed().as_nanos() as u64;
+        let (single, many) = obs.tracer.root("op", 0, wall, || {
+            let tid = kosha_obs::trace::current().unwrap().trace_id;
+            let single = net
+                .call(NodeAddr(0), NodeAddr(1), req())
+                .unwrap()
+                .decode::<u64>()
+                .unwrap();
+            let batch = (0..3)
+                .map(|_| (NodeAddr(1), RpcRequest::new(ServiceId::KoshaReplica, &0u64)))
+                .collect();
+            let many: Vec<u64> = net
+                .call_many(NodeAddr(0), batch)
+                .into_iter()
+                .map(|r| r.unwrap().decode::<u64>().unwrap())
+                .collect();
+            assert!(many.iter().all(|&t| t == tid));
+            (single == tid, many.len())
+        });
+        assert!(single, "mailbox thread must see the caller's trace");
+        assert_eq!(many, 3);
+
+        // Root + one rpc:kosha + three rpc:replica client spans, on the
+        // wall clock, all in one trace.
+        let spans = obs.tracer.take();
+        assert_eq!(spans.len(), 5);
+        let tid = spans[0].trace_id;
+        assert!(spans.iter().all(|s| s.trace_id == tid));
+        assert_eq!(spans.iter().filter(|s| s.name == "rpc:replica").count(), 3);
+    }
+
+    #[test]
     fn missing_service_reported_distinctly() {
         let net = ThreadedNetwork::new(Duration::from_millis(200));
         let mux = Arc::new(ServiceMux::new());
@@ -401,6 +497,7 @@ mod tests {
                 NodeAddr(5),
                 RpcRequest {
                     service: ServiceId::Nfs,
+                    trace: None,
                     body: Bytes::new(),
                 }
             ),

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use kosha_rpc::{
     LatencyModel, Network, NodeAddr, Reader, RpcError, RpcHandler, RpcRequest, RpcResponse,
-    ServiceId, ServiceMux, SimNetwork, WireRead, Writer,
+    ServiceId, ServiceMux, SimNetwork, TraceHeader, WireRead, WireWrite, Writer,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -80,6 +80,67 @@ proptest! {
         let mut r = Reader::new(&bytes);
         let _ = r.option::<u128>();
         let _ = ServiceId::decode(&bytes);
+    }
+}
+
+fn service_strategy() -> impl Strategy<Value = ServiceId> {
+    prop_oneof![
+        Just(ServiceId::Pastry),
+        Just(ServiceId::Nfs),
+        Just(ServiceId::Kosha),
+        Just(ServiceId::KoshaFs),
+        Just(ServiceId::KoshaReplica),
+    ]
+}
+
+proptest! {
+    /// Request frames round-trip through the wire codec, traced or not,
+    /// and the encoded length always matches `wire_size`.
+    #[test]
+    fn request_frames_round_trip(
+        service in service_strategy(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        trace in proptest::option::of((1u64..=u64::MAX, 1u64..=u64::MAX)),
+    ) {
+        let req = RpcRequest {
+            service,
+            trace: trace.map(|(t, s)| TraceHeader {
+                trace_id: t,
+                span_id: s,
+            }),
+            body: Bytes::from(body),
+        };
+        let frame = req.encode();
+        prop_assert_eq!(frame.len(), req.wire_size());
+        let back = RpcRequest::decode(&frame).unwrap();
+        prop_assert_eq!(back.service, req.service);
+        prop_assert_eq!(back.trace, req.trace);
+        prop_assert_eq!(&back.body[..], &req.body[..]);
+    }
+
+    /// Old-format frames (raw service tag + body, no trace header) decode
+    /// against the new codec: mixed-version clusters interoperate.
+    #[test]
+    fn legacy_frames_decode_against_new_codec(
+        service in service_strategy(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut w = Writer::new();
+        service.write(&mut w);
+        w.bytes(&body);
+        let legacy = w.finish();
+        let back = RpcRequest::decode(&legacy).unwrap();
+        prop_assert_eq!(back.service, service);
+        prop_assert_eq!(back.trace, None);
+        prop_assert_eq!(&back.body[..], &body[..]);
+        // And an untraced request re-encodes to the exact legacy bytes.
+        prop_assert_eq!(back.encode(), legacy);
+    }
+
+    /// Decoding arbitrary request frames never panics.
+    #[test]
+    fn request_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = RpcRequest::decode(&bytes);
     }
 }
 
