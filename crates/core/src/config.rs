@@ -2,6 +2,32 @@
 
 use std::time::Duration;
 
+/// How a primary propagates mutations to its K replicas (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Mirror every mutation to all replicas before replying — the
+    /// prototype's behavior. The client's reply waits for the slowest
+    /// replica round trip.
+    Sync,
+    /// Write-behind: mutations are queued per replica target, coalesced,
+    /// and flushed in batches off the client's critical path. NFS
+    /// `COMMIT`, queue overflow (backpressure), and leaf-set changes
+    /// force synchronous flush barriers; a replica that may be behind
+    /// carries a lag marker so promotion never silently serves stale
+    /// data (DESIGN.md §11).
+    WriteBehind {
+        /// Per-target queue capacity in ops. An enqueue that fills a
+        /// queue blocks on a synchronous flush of that target
+        /// (backpressure low-water is an empty queue).
+        queue_ops: usize,
+        /// Interval at which a background pump drains the queues.
+        /// [`kosha_rpc::ThreadedNetwork`] drives this with a real
+        /// thread; [`kosha_rpc::SimNetwork`] leaves pumping to explicit
+        /// `run_pumps()` calls / flush barriers for determinism.
+        flush_interval: Duration,
+    },
+}
+
 /// System-wide parameters of a Kosha deployment. All nodes must agree on
 /// `distribution_level` (the paper calls it "a system-wide parameter",
 /// §3.2); the rest are per-node operational knobs.
@@ -63,6 +89,10 @@ pub struct KoshaConfig {
     /// that already carry a trace header are always recorded regardless
     /// of this knob.
     pub trace_sampling: u64,
+    /// How mutations reach the K replicas: synchronously on the write
+    /// path (the default, matching the prototype) or write-behind
+    /// through per-target coalescing queues (DESIGN.md §11).
+    pub replication_mode: ReplicationMode,
 }
 
 impl Default for KoshaConfig {
@@ -82,6 +112,7 @@ impl Default for KoshaConfig {
             compound_lookup: true,
             koshad_op_cost: Duration::from_micros(350),
             trace_sampling: 0,
+            replication_mode: ReplicationMode::Sync,
         }
     }
 }
@@ -105,6 +136,7 @@ impl KoshaConfig {
             compound_lookup: true,
             koshad_op_cost: Duration::ZERO,
             trace_sampling: 0,
+            replication_mode: ReplicationMode::Sync,
         }
     }
 }
@@ -120,5 +152,9 @@ mod tests {
         assert_eq!(c.redirect_attempts, 4);
         assert_eq!(c.contributed_bytes, 35 * 1_000_000_000);
         assert!(c.redirect_utilization > 0.5 && c.redirect_utilization <= 1.0);
+        // Synchronous replication is the default; write-behind is opt-in.
+        assert_eq!(c.replication_mode, ReplicationMode::Sync);
+        let t = KoshaConfig::for_tests();
+        assert_eq!(t.replication_mode, ReplicationMode::Sync);
     }
 }

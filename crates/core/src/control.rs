@@ -288,6 +288,21 @@ pub enum KoshaRequest {
         /// The mutation, mirroring the primary's own store change.
         op: ReplicaOp,
     },
+    /// Replica maintenance (served on `ServiceId::KoshaReplica`): apply a
+    /// coalesced batch of mutations in order, in one round trip — the
+    /// write-behind pump's flush unit. Like `ReplicaApply`, handlers
+    /// touch only local state, so the service stays cycle-free.
+    ReplicaApplyBatch {
+        /// The mutations, in primary apply order (post-coalescing).
+        ops: Vec<ReplicaOp>,
+    },
+    /// Flush barrier: drain this primary's write-behind queues
+    /// synchronously before replying. Sent by koshad on NFS COMMIT; a
+    /// no-op under synchronous replication.
+    Flush {
+        /// Virtual path the barrier was issued against (journaled).
+        path: String,
+    },
 }
 
 impl KoshaRequest {
@@ -319,6 +334,8 @@ impl KoshaRequest {
             KoshaRequest::ReplicaTargets { .. } => "replica_targets",
             KoshaRequest::MigrateBatch { .. } => "migrate_batch",
             KoshaRequest::ReplicaApply { .. } => "replica_apply",
+            KoshaRequest::ReplicaApplyBatch { .. } => "replica_apply_batch",
+            KoshaRequest::Flush { .. } => "flush",
         }
     }
 }
@@ -407,6 +424,18 @@ pub enum ReplicaOp {
         /// New anchor virtual path.
         to: String,
     },
+    /// Write-behind lag marker. With `bytes > 0`, stamps the replica
+    /// slot as *behind* the primary by at least that many queued payload
+    /// bytes; with `bytes == 0`, clears the stamp (the flush carrying it
+    /// brought the slot current). A node promoting a slot that still
+    /// carries a stamp knows data was lost and journals `replica_lag`
+    /// instead of silently serving stale bytes.
+    LagMark {
+        /// Anchor virtual path of the stamped slot.
+        anchor: String,
+        /// Lower bound of queued payload bytes (0 = clear).
+        bytes: u64,
+    },
 }
 
 impl WireWrite for ReplicaOp {
@@ -477,6 +506,11 @@ impl WireWrite for ReplicaOp {
                 w.string(from);
                 w.string(to);
             }
+            ReplicaOp::LagMark { anchor, bytes } => {
+                w.u8(10);
+                w.string(anchor);
+                w.u64(*bytes);
+            }
         }
     }
 }
@@ -519,6 +553,10 @@ impl WireRead for ReplicaOp {
             9 => ReplicaOp::RenameSlot {
                 from: r.string()?,
                 to: r.string()?,
+            },
+            10 => ReplicaOp::LagMark {
+                anchor: r.string()?,
+                bytes: r.u64()?,
             },
             t => return Err(WireError::BadTag(t)),
         })
@@ -663,6 +701,14 @@ impl WireWrite for KoshaRequest {
                 w.u8(21);
                 w.value(op);
             }
+            KoshaRequest::ReplicaApplyBatch { ops } => {
+                w.u8(22);
+                w.seq(ops);
+            }
+            KoshaRequest::Flush { path } => {
+                w.u8(23);
+                w.string(path);
+            }
         }
     }
 }
@@ -744,6 +790,8 @@ impl WireRead for KoshaRequest {
                 items: r.seq()?,
             },
             21 => KoshaRequest::ReplicaApply { op: r.value()? },
+            22 => KoshaRequest::ReplicaApplyBatch { ops: r.seq()? },
+            23 => KoshaRequest::Flush { path: r.string()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1000,6 +1048,29 @@ mod tests {
                     data: vec![9, 8],
                 },
             },
+            KoshaRequest::ReplicaApplyBatch {
+                ops: vec![
+                    ReplicaOp::Create {
+                        path: "/a/f".into(),
+                        mode: 0o644,
+                        uid: 1,
+                        gid: 2,
+                        size: None,
+                    },
+                    ReplicaOp::Write {
+                        path: "/a/f".into(),
+                        offset: 0,
+                        data: vec![3, 4],
+                    },
+                    ReplicaOp::LagMark {
+                        anchor: "/a".into(),
+                        bytes: 0,
+                    },
+                ],
+            },
+            KoshaRequest::Flush {
+                path: "/a/f".into(),
+            },
         ];
         for req in reqs {
             let b = req.encode();
@@ -1078,6 +1149,10 @@ mod tests {
             ReplicaOp::RenameSlot {
                 from: "/a".into(),
                 to: "/b".into(),
+            },
+            ReplicaOp::LagMark {
+                anchor: "/a".into(),
+                bytes: 4096,
             },
         ];
         for op in ops {

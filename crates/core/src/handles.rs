@@ -42,6 +42,12 @@ pub struct HandleTable {
     next: u64,
     entries: HashMap<u64, VhEntry>,
     by_path: HashMap<String, u64>,
+    /// Cached *replica-area* file handles per virtual path: which
+    /// replica holders have been read from and the real handle each
+    /// handed out. Lets repeated replica reads skip the mount +
+    /// compound-lookup RPCs; invalidated on the same chain-, node-, and
+    /// subtree-scoped events as primary locations.
+    replica_locs: HashMap<String, Vec<(NodeAddr, Fh)>>,
 }
 
 /// Generation stamped into virtual handles (they outlive store purges; a
@@ -57,6 +63,7 @@ impl HandleTable {
             next: 1,
             entries: HashMap::new(),
             by_path: HashMap::new(),
+            replica_locs: HashMap::new(),
         };
         t.mint("/", FileType::Directory);
         t
@@ -129,6 +136,36 @@ impl HandleTable {
         for e in self.entries.values_mut() {
             e.loc = None;
         }
+        self.replica_locs.clear();
+    }
+
+    /// Cached replica file handle on `addr` for `path`, if any.
+    #[must_use]
+    pub fn replica_location(&self, addr: NodeAddr, path: &str) -> Option<Fh> {
+        self.replica_locs
+            .get(path)?
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map(|&(_, fh)| fh)
+    }
+
+    /// Caches the replica file handle `addr` handed out for `path`.
+    pub fn set_replica_location(&mut self, addr: NodeAddr, path: &str, fh: Fh) {
+        let v = self.replica_locs.entry(path.to_string()).or_default();
+        match v.iter_mut().find(|(a, _)| *a == addr) {
+            Some(slot) => slot.1 = fh,
+            None => v.push((addr, fh)),
+        }
+    }
+
+    /// Drops one cached replica handle (after a failed replica read).
+    pub fn clear_replica_location(&mut self, addr: NodeAddr, path: &str) {
+        if let Some(v) = self.replica_locs.get_mut(path) {
+            v.retain(|(a, _)| *a != addr);
+            if v.is_empty() {
+                self.replica_locs.remove(path);
+            }
+        }
     }
 
     /// Drops cached locations along one path's resolution chain: `path`
@@ -142,13 +179,16 @@ impl HandleTable {
             return;
         }
         let descendant_prefix = format!("{path}/");
-        for e in self.entries.values_mut() {
-            let p = e.path.as_str();
+        let on_chain = |p: &str| {
             let is_ancestor = p == "/" || path.starts_with(&format!("{p}/"));
-            if is_ancestor || p == path || p.starts_with(&descendant_prefix) {
+            is_ancestor || p == path || p.starts_with(&descendant_prefix)
+        };
+        for e in self.entries.values_mut() {
+            if on_chain(e.path.as_str()) {
                 e.loc = None;
             }
         }
+        self.replica_locs.retain(|p, _| !on_chain(p.as_str()));
     }
 
     /// Drops every cached location pointing at a failed node.
@@ -158,6 +198,10 @@ impl HandleTable {
                 e.loc = None;
             }
         }
+        for v in self.replica_locs.values_mut() {
+            v.retain(|(a, _)| *a != addr);
+        }
+        self.replica_locs.retain(|_, v| !v.is_empty());
     }
 
     /// Rewrites paths after a rename: `old` itself and everything under
@@ -184,6 +228,8 @@ impl HandleTable {
             self.by_path.remove(&old_path);
             self.by_path.insert(new_path, vh);
         }
+        self.replica_locs
+            .retain(|p, _| p != old && !p.starts_with(&prefix) && p != new);
     }
 
     /// Forgets `path` and its whole subtree (after remove/rmdir). The
@@ -202,6 +248,8 @@ impl HandleTable {
                 self.by_path.remove(&e.path);
             }
         }
+        self.replica_locs
+            .retain(|p, _| p != path && !p.starts_with(&prefix));
     }
 
     /// Number of live entries.
@@ -298,6 +346,32 @@ mod tests {
         assert_eq!(t.get(other).unwrap().path, "/ab");
         // Re-minting the new path returns the moved handle.
         assert_eq!(t.mint("/z/f", FileType::Regular), f);
+    }
+
+    #[test]
+    fn replica_locations_follow_invalidation() {
+        let mut t = HandleTable::new();
+        let fh = Fh { ino: 9, gen: 1 };
+        t.set_replica_location(NodeAddr(1), "/a/b/f", fh);
+        t.set_replica_location(NodeAddr(2), "/a/b/f", fh);
+        t.set_replica_location(NodeAddr(1), "/other", fh);
+        assert_eq!(t.replica_location(NodeAddr(1), "/a/b/f"), Some(fh));
+        // Node-scoped invalidation drops only that node's handles.
+        t.clear_locations_at(NodeAddr(1));
+        assert_eq!(t.replica_location(NodeAddr(1), "/a/b/f"), None);
+        assert_eq!(t.replica_location(NodeAddr(2), "/a/b/f"), Some(fh));
+        // Chain-scoped invalidation spares unrelated branches.
+        t.set_replica_location(NodeAddr(1), "/other", fh);
+        t.clear_locations_chain("/a/b");
+        assert_eq!(t.replica_location(NodeAddr(2), "/a/b/f"), None);
+        assert_eq!(t.replica_location(NodeAddr(1), "/other"), Some(fh));
+        // Targeted clear after a failed replica read.
+        t.clear_replica_location(NodeAddr(1), "/other");
+        assert_eq!(t.replica_location(NodeAddr(1), "/other"), None);
+        // Subtree forget sweeps replica handles too.
+        t.set_replica_location(NodeAddr(3), "/gone/f", fh);
+        t.forget_subtree("/gone");
+        assert_eq!(t.replica_location(NodeAddr(3), "/gone/f"), None);
     }
 
     #[test]

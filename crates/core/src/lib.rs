@@ -51,8 +51,9 @@ pub mod paths;
 pub mod primary;
 pub mod resolve;
 pub mod stats;
+pub mod writeback;
 
-pub use config::KoshaConfig;
+pub use config::{KoshaConfig, ReplicationMode};
 pub use mount::KoshaMount;
 pub use node::KoshaNode;
 pub use stats::{KoshaStats, StatsSnapshot};

@@ -214,6 +214,20 @@ impl KoshaMount {
             .0)
     }
 
+    /// Writes `data` into an existing file at `offset` (one WRITE per
+    /// chunk, like an appending NFS client).
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) -> NfsResult<()> {
+        let (fh, _) = self.stat(path)?;
+        let mut off = 0usize;
+        while off < data.len() {
+            let end = (off + self.chunk as usize).min(data.len());
+            self.nfs
+                .write(self.koshad, fh, offset + off as u64, &data[off..end])?;
+            off = end;
+        }
+        Ok(())
+    }
+
     /// Writes an entire file (creating it if missing), chunked like an
     /// NFS client. Creation is attempted first — the common case when
     /// populating a tree — falling back to truncate-and-rewrite when the
@@ -349,6 +363,14 @@ impl KoshaMount {
     pub fn setattr(&self, path: &str, sattr: SetAttr) -> NfsResult<Attr> {
         let (fh, _) = self.stat(path)?;
         self.nfs.setattr(self.koshad, fh, sattr)
+    }
+
+    /// COMMIT (fsync) on `path`: forces the primary to flush any queued
+    /// write-behind replication for the file before returning. A cheap
+    /// no-op under synchronous replication.
+    pub fn commit(&self, path: &str) -> NfsResult<()> {
+        let (fh, _) = self.stat(path)?;
+        self.nfs.commit(self.koshad, fh)
     }
 
     /// ACCESS check for the mount's identity on `path`.

@@ -56,6 +56,9 @@ pub struct KoshaNode {
     /// endpoint, NFS server/client, and interposition layer so their
     /// metrics and journal events correlate.
     pub(crate) obs: Arc<Obs>,
+    /// Write-behind replication queues (one per replica target) and the
+    /// flush-path metric handles; idle under `ReplicationMode::Sync`.
+    pub(crate) writeback: crate::writeback::WritebackState,
 }
 
 /// Handler wrapper for the Kosha control service.
@@ -126,6 +129,7 @@ impl KoshaNode {
             read_rr: std::sync::atomic::AtomicU64::new(0),
             stats: KoshaStats::new(&obs),
             trace_seq: std::sync::atomic::AtomicU64::new(0),
+            writeback: crate::writeback::WritebackState::new(&obs),
             obs,
             cfg,
             net,
@@ -139,6 +143,15 @@ impl KoshaNode {
             anchors: Mutex::new(BTreeMap::new()),
         });
         pastry.add_observer(Arc::new(LeafWatcher(Arc::downgrade(&node))));
+        if let crate::config::ReplicationMode::WriteBehind { flush_interval, .. } =
+            node.cfg.replication_mode
+        {
+            // ThreadedNetwork drives the pump with a background thread;
+            // SimNetwork records the hook and leaves pumping to explicit
+            // `run_pumps()` calls so simulations stay deterministic.
+            let hook = Arc::downgrade(&node) as Weak<dyn kosha_rpc::PumpHook>;
+            let _ = node.net.schedule_pump(hook, flush_interval);
+        }
 
         let mux = Arc::new(ServiceMux::new());
         mux.register(ServiceId::Pastry, pastry);

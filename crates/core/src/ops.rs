@@ -141,6 +141,15 @@ impl KoshaNode {
 
     /// Attempts one replica read; `None` falls back to the primary
     /// (primary's round-robin turn, no replicas, or any failure).
+    ///
+    /// Target choice is latency-aware: when the transport exposes
+    /// per-peer latency EWMAs, the round-robin is restricted to targets
+    /// within 10% of the fastest (unmeasured targets always qualify —
+    /// they need traffic to get measured at all). The replica's real
+    /// file handle is cached per `(node, path)` in the handle table, so
+    /// repeated reads skip the mount + lookup RPCs; the cache entry is
+    /// dropped on a failed read and by the same chain-, node-, and
+    /// subtree-scoped invalidation as primary locations.
     fn try_replica_read(&self, vpath: &str, offset: u64, count: u32) -> Option<(Vec<u8>, bool)> {
         use crate::paths::{slot_local_path, Area};
         let (ppath, _) = kosha_vfs::path::parent_and_name(vpath)?;
@@ -167,17 +176,68 @@ impl KoshaNode {
         if turn == 0 {
             return None; // the primary's turn
         }
-        let addr = targets[(turn - 1) as usize];
-        let anchor = self.covering_anchor(ppath);
-        let rpath = slot_local_path(Area::Replica, &anchor, vpath);
-        let root = self.nfs.mount(addr).ok()?;
-        let (rfh, attr) = self.nfs.lookup_path(addr, root, &rpath).ok()?;
-        if attr.ftype != FileType::Regular {
-            return None;
+        let lats: Vec<Option<u64>> = targets
+            .iter()
+            .map(|&a| self.net.peer_latency_nanos(a))
+            .collect();
+        let eligible: Vec<NodeAddr> = match lats.iter().flatten().min().copied() {
+            None => targets.clone(),
+            Some(best) => targets
+                .iter()
+                .zip(&lats)
+                .filter(|(_, l)| l.is_none_or(|l| l <= best + best / 10))
+                .map(|(&a, _)| a)
+                .collect(),
+        };
+        let addr = eligible[(turn - 1) as usize % eligible.len()];
+        let cached = self.client.lock().handles.replica_location(addr, vpath);
+        let rfh = match cached {
+            Some(fh) => {
+                self.stats.replica_handle_hits.inc();
+                fh
+            }
+            None => {
+                let anchor = self.covering_anchor(ppath);
+                let rpath = slot_local_path(Area::Replica, &anchor, vpath);
+                let root = self.nfs.mount(addr).ok()?;
+                let (rfh, attr) = self.nfs.lookup_path(addr, root, &rpath).ok()?;
+                if attr.ftype != FileType::Regular {
+                    return None;
+                }
+                self.client
+                    .lock()
+                    .handles
+                    .set_replica_location(addr, vpath, rfh);
+                rfh
+            }
+        };
+        match self.nfs.read(addr, rfh, offset, count) {
+            Ok(out) => {
+                self.stats.replica_reads.inc();
+                Some(out)
+            }
+            Err(_) => {
+                self.client
+                    .lock()
+                    .handles
+                    .clear_replica_location(addr, vpath);
+                None
+            }
         }
-        let out = self.nfs.read(addr, rfh, offset, count).ok()?;
-        self.stats.replica_reads.inc();
-        Some(out)
+    }
+
+    /// COMMIT: an fsync barrier through the virtual mount. Store writes
+    /// are synchronous at the primary, so COMMIT's remaining duty is the
+    /// write-behind flush barrier — the primary must push every queued
+    /// mirrored op to its replicas before acknowledging (a no-op under
+    /// `Sync` replication).
+    pub fn k_commit(&self, fh: Fh) -> NfsResult<()> {
+        let vpath = self.vh_path(fh)?;
+        self.with_path_retry(&vpath, |s| {
+            let (path, loc, _) = s.ensure_obj(fh)?;
+            s.control(loc.addr, &KoshaRequest::Flush { path })
+                .map(|_| ())
+        })
     }
 
     /// WRITE through the primary (which fans out to replicas).
@@ -920,6 +980,10 @@ impl VirtualFs {
                         used,
                         free,
                     }
+                }
+                NfsRequest::Commit { fh } => {
+                    k.k_commit(fh).map_err(nfs_error_to_status)?;
+                    NfsReply::Void
                 }
                 // Compound lookup is a server-to-server optimization used
                 // by the resolver; the loopback mount keeps NFS semantics

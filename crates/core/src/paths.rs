@@ -51,11 +51,20 @@ pub const ANCHOR_META: &str = ".kosha_anchor";
 /// Name of the migration-in-progress flag file (§4.4).
 pub const MIGRATION_FLAG: &str = "MIGRATION_NOT_COMPLETE";
 
+/// Name of the replica-lag marker a write-behind primary drops at a
+/// replica slot's root while queued mutations have not yet been flushed
+/// to that replica. The file holds the decimal count of payload bytes
+/// queued when the marker was written (a lower bound on the lag); a
+/// flushed batch clears it, and a promotion that finds one journals a
+/// `replica_lag` event instead of silently serving stale data
+/// (DESIGN.md §11).
+pub const LAG_MARK: &str = ".kosha_lag";
+
 /// True for names Kosha manages internally and hides from directory
 /// listings.
 #[must_use]
 pub fn is_internal_name(name: &str) -> bool {
-    name == ANCHOR_META || name == MIGRATION_FLAG
+    name == ANCHOR_META || name == MIGRATION_FLAG || name == LAG_MARK
 }
 
 /// The routing name of the virtual root anchor.
@@ -198,6 +207,7 @@ mod tests {
     fn internal_names_recognized() {
         assert!(is_internal_name(".kosha_anchor"));
         assert!(is_internal_name("MIGRATION_NOT_COMPLETE"));
+        assert!(is_internal_name(".kosha_lag"));
         assert!(!is_internal_name("data.txt"));
     }
 }

@@ -8,7 +8,7 @@ use crate::control::{
 };
 use crate::node::{ControlService, KoshaNode, ReplicaService};
 use crate::paths::{
-    anchor_slot, is_internal_name, slot_local_path, Area, ANCHOR_META, MIGRATION_FLAG,
+    anchor_slot, is_internal_name, slot_local_path, Area, ANCHOR_META, LAG_MARK, MIGRATION_FLAG,
 };
 use kosha_nfs::{Fh, NfsReply, NfsRequest, NfsResult, NfsStatus};
 use kosha_pastry::NodeInfo;
@@ -142,6 +142,13 @@ impl KoshaNode {
         if targets.is_empty() {
             return;
         }
+        if let Some(queue_ops) = self.write_behind_queue_ops() {
+            // Write-behind (DESIGN.md §11): queue instead of fanning out
+            // on the client's critical path. Flush barriers and the
+            // transport pump drain the queues.
+            self.enqueue_replica_op(op, &targets, queue_ops);
+            return;
+        }
         let clock = self.net.clock();
         self.obs.tracer.child(
             || "kosha:mirror".to_string(),
@@ -163,7 +170,7 @@ impl KoshaNode {
     /// `replica_mirror_failures` and journals the missed target's node
     /// id, so a batch that loses several replicas reports all of them,
     /// not just the first.
-    fn note_mirror_result(&self, addr: NodeAddr, ok: bool) {
+    pub(crate) fn note_mirror_result(&self, addr: NodeAddr, ok: bool) {
         if ok {
             return;
         }
@@ -242,6 +249,16 @@ impl KoshaNode {
         match req {
             KoshaRequest::ReplicaApply { op } => {
                 self.apply_replica_op(op)?;
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::ReplicaApplyBatch { ops } => {
+                // Apply in order and stop at the first failure: a partly
+                // applied batch must leave the slot's lag marker set (the
+                // clears ride at the batch tail), so a later promotion of
+                // this copy still reports the divergence.
+                for op in ops {
+                    self.apply_replica_op(op)?;
+                }
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::MigrateBatch { path, items } => {
@@ -402,6 +419,53 @@ impl KoshaNode {
                     NfsStatus::NoEnt,
                 )
             }
+            ReplicaOp::LagMark { anchor, bytes } => {
+                let dir = self.replica_dir_local(&anchor, &anchor)?;
+                if bytes == 0 {
+                    // Clear: the flush batch carrying this op brought the
+                    // slot up to date.
+                    return absorb(
+                        self.apply(NfsRequest::Remove {
+                            dir,
+                            name: LAG_MARK.into(),
+                        }),
+                        NfsStatus::NoEnt,
+                    );
+                }
+                let fh = match self.apply(NfsRequest::Lookup {
+                    dir,
+                    name: LAG_MARK.into(),
+                }) {
+                    Ok(NfsReply::Handle { fh, .. }) => fh,
+                    Err(NfsStatus::NoEnt) => match self.apply(NfsRequest::Create {
+                        dir,
+                        name: LAG_MARK.into(),
+                        mode: 0o600,
+                        uid: 0,
+                        gid: 0,
+                    })? {
+                        NfsReply::Handle { fh, .. } => fh,
+                        _ => return Err(NfsStatus::Io),
+                    },
+                    Err(e) => return Err(e),
+                    Ok(_) => return Err(NfsStatus::Io),
+                };
+                // Truncate before writing the decimal count so a shorter
+                // stamp never leaves stale trailing digits.
+                self.apply(NfsRequest::Setattr {
+                    fh,
+                    sattr: kosha_nfs::messages::WireSetAttr(SetAttr {
+                        size: Some(0),
+                        ..Default::default()
+                    }),
+                })?;
+                self.apply(NfsRequest::Write {
+                    fh,
+                    offset: 0,
+                    data: bytes.to_string().into_bytes(),
+                })
+                .map(|_| ())
+            }
             ReplicaOp::RenameSlot { from, to } => {
                 let rarea = self.fh_of(&format!("/{}", Area::Replica.dir_name()))?;
                 absorb(
@@ -515,6 +579,43 @@ impl KoshaNode {
 
     // ---- promotion & migration -------------------------------------------
 
+    /// Checks a freshly promoted (or pulled) store copy of `anchor` for
+    /// a write-behind lag marker left behind by the failed primary. A
+    /// present marker means this copy is missing ops the primary had
+    /// queued but never flushed: the divergence is journaled as
+    /// `replica_lag` with the stamped payload-byte lower bound — failover
+    /// never *silently* serves stale data — and the marker is removed
+    /// from the now-authoritative copy.
+    fn consume_lag_marker(&self, anchor: &str) {
+        let slot_path = slot_local_path(Area::Store, anchor, anchor);
+        let marker = format!("{slot_path}/{LAG_MARK}");
+        let bytes = self.store.with_store(|v| {
+            let (id, attr) = v.resolve(&marker).ok()?;
+            let (data, _) = v.read(id, 0, attr.size as u32).ok()?;
+            Some(
+                String::from_utf8_lossy(&data)
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or(0),
+            )
+        });
+        let Some(bytes) = bytes else { return };
+        if let Ok(dir) = self.fh_of(&slot_path) {
+            let _ = self.apply(NfsRequest::Remove {
+                dir,
+                name: LAG_MARK.into(),
+            });
+        }
+        self.stats.replica_lag_events.inc();
+        self.journal(
+            "replica_lag",
+            format!(
+                "promoted copy of {anchor:?} is missing at least {bytes} payload \
+                 bytes the failed primary never flushed"
+            ),
+        );
+    }
+
     /// Moves `anchor` from the replica area into the store and starts
     /// serving it as primary (§4.4's transparent failover end-state).
     fn promote_anchor(&self, anchor: &str) -> Result<(), NfsStatus> {
@@ -537,6 +638,7 @@ impl KoshaNode {
                 name: MIGRATION_FLAG.into(),
             });
         }
+        self.consume_lag_marker(anchor);
         let routing = self
             .read_anchor_meta(anchor)
             .unwrap_or_else(|| default_routing(anchor));
@@ -596,6 +698,7 @@ impl KoshaNode {
                 dir: dst,
                 name: MIGRATION_FLAG.into(),
             });
+            self.consume_lag_marker(anchor);
             let routing = self
                 .read_anchor_meta(anchor)
                 .unwrap_or_else(|| routing.to_string());
@@ -744,6 +847,9 @@ impl KoshaNode {
     /// Reacts to leaf-set changes: migrate anchors whose keys now map to
     /// another node, refresh replicas for the rest (§4.3).
     pub(crate) fn on_leaf_change(&self, _joined: Option<NodeInfo>) {
+        // Flush barrier: migration and replica refresh below must never
+        // run against replicas that are behind the write-behind queues.
+        self.flush_replication();
         for (path, routing) in self.hosted_anchors() {
             match self.owner_of(&routing) {
                 Ok(owner) if owner.id != self.info.id => {
@@ -1163,11 +1269,19 @@ impl KoshaNode {
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::ListAnchors => Ok(KoshaReply::Anchors(self.hosted_anchors())),
+            KoshaRequest::Flush { path } => {
+                // NFS COMMIT barrier: the client fsynced, so every queued
+                // write-behind op must reach the replicas before we ack.
+                // A no-op under `Sync` replication (nothing is queued).
+                self.journal("flush_barrier", format!("COMMIT barrier for {path:?}"));
+                self.flush_replication();
+                Ok(KoshaReply::Done)
+            }
             // Replica maintenance is served on its own leaf service
             // (`ServiceId::KoshaReplica`), not the control service.
-            KoshaRequest::MigrateBatch { .. } | KoshaRequest::ReplicaApply { .. } => {
-                Err(NfsStatus::NotSupp)
-            }
+            KoshaRequest::MigrateBatch { .. }
+            | KoshaRequest::ReplicaApply { .. }
+            | KoshaRequest::ReplicaApplyBatch { .. } => Err(NfsStatus::NotSupp),
             KoshaRequest::ReplicaTargets { path } => {
                 let anchor = self.covering_anchor(&path);
                 if !self.hosted(&anchor) {
@@ -1180,7 +1294,7 @@ impl KoshaNode {
 }
 
 /// Whether a mirror RPC's outcome means the replica applied the change.
-fn mirror_succeeded(result: Result<RpcResponse, RpcError>) -> bool {
+pub(crate) fn mirror_succeeded(result: Result<RpcResponse, RpcError>) -> bool {
     matches!(
         result.and_then(|r| r.decode::<KoshaReplyFrame>()),
         Ok(KoshaReplyFrame(Ok(_)))

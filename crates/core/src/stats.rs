@@ -50,6 +50,29 @@ pub struct KoshaStats {
     /// replica behind the primary until the next full push
     /// (`kosha_replica_mirror_failures_total`).
     pub replica_mirror_failures: Arc<Counter>,
+    /// Replica reads that reused a cached replica file handle, skipping
+    /// the mount + lookup RPCs (`kosha_replica_handle_hits_total`).
+    pub replica_handle_hits: Arc<Counter>,
+    /// Ops enqueued on write-behind replica queues instead of being
+    /// mirrored synchronously, counted per target queue — the same unit
+    /// as [`KoshaStats::writeback_flushed_ops`]
+    /// (`kosha_writeback_enqueued_total`).
+    pub writeback_enqueued: Arc<Counter>,
+    /// Write-behind flush rounds completed (one per barrier or pump
+    /// tick that found queued ops; `kosha_writeback_flushes_total`).
+    pub writeback_flushes: Arc<Counter>,
+    /// Replica ops actually shipped by write-behind flushes, after
+    /// coalescing (`kosha_writeback_flushed_ops_total`). The coalesce
+    /// ratio is `writeback_enqueued / writeback_flushed_ops`.
+    pub writeback_flushed_ops: Arc<Counter>,
+    /// Queued ops eliminated by coalescing before a flush
+    /// (`kosha_writeback_coalesced_ops_total`).
+    pub writeback_coalesced_ops: Arc<Counter>,
+    /// Replica-lag events: a write-behind queue was dropped on an
+    /// unreachable target, or a promotion found a lag marker — either
+    /// way the divergence was journaled rather than silently served
+    /// (`kosha_replica_lag_total`).
+    pub replica_lag_events: Arc<Counter>,
 }
 
 /// A plain-value snapshot of [`KoshaStats`].
@@ -75,6 +98,18 @@ pub struct StatsSnapshot {
     pub replica_reads: u64,
     /// See [`KoshaStats::replica_mirror_failures`].
     pub replica_mirror_failures: u64,
+    /// See [`KoshaStats::replica_handle_hits`].
+    pub replica_handle_hits: u64,
+    /// See [`KoshaStats::writeback_enqueued`].
+    pub writeback_enqueued: u64,
+    /// See [`KoshaStats::writeback_flushes`].
+    pub writeback_flushes: u64,
+    /// See [`KoshaStats::writeback_flushed_ops`].
+    pub writeback_flushed_ops: u64,
+    /// See [`KoshaStats::writeback_coalesced_ops`].
+    pub writeback_coalesced_ops: u64,
+    /// See [`KoshaStats::replica_lag_events`].
+    pub replica_lag_events: u64,
 }
 
 impl KoshaStats {
@@ -93,6 +128,12 @@ impl KoshaStats {
             redirections: c("kosha_redirections_total"),
             replica_reads: c("kosha_replica_reads_total"),
             replica_mirror_failures: c("kosha_replica_mirror_failures_total"),
+            replica_handle_hits: c("kosha_replica_handle_hits_total"),
+            writeback_enqueued: c("kosha_writeback_enqueued_total"),
+            writeback_flushes: c("kosha_writeback_flushes_total"),
+            writeback_flushed_ops: c("kosha_writeback_flushed_ops_total"),
+            writeback_coalesced_ops: c("kosha_writeback_coalesced_ops_total"),
+            replica_lag_events: c("kosha_replica_lag_total"),
         }
     }
 
@@ -110,6 +151,12 @@ impl KoshaStats {
             redirections: self.redirections.get(),
             replica_reads: self.replica_reads.get(),
             replica_mirror_failures: self.replica_mirror_failures.get(),
+            replica_handle_hits: self.replica_handle_hits.get(),
+            writeback_enqueued: self.writeback_enqueued.get(),
+            writeback_flushes: self.writeback_flushes.get(),
+            writeback_flushed_ops: self.writeback_flushed_ops.get(),
+            writeback_coalesced_ops: self.writeback_coalesced_ops.get(),
+            replica_lag_events: self.replica_lag_events.get(),
         }
     }
 }

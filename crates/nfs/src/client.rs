@@ -416,6 +416,17 @@ impl NfsClient {
         }
     }
 
+    /// COMMIT: asks the server to make previously written data durable.
+    /// The store server acks immediately (writes are synchronous in this
+    /// model); the koshad virtual server treats it as a replication
+    /// flush barrier.
+    pub fn commit(&self, to: NodeAddr, fh: Fh) -> NfsResult<()> {
+        match self.call(to, &NfsRequest::Commit { fh })? {
+            NfsReply::Void => Ok(()),
+            _ => Self::unexpected(),
+        }
+    }
+
     /// FSSTAT: `(capacity, used, free)`.
     pub fn fsstat(&self, to: NodeAddr) -> NfsResult<(u64, u64, u64)> {
         match self.call(to, &NfsRequest::Fsstat)? {

@@ -498,12 +498,20 @@ pub enum NfsRequest {
         /// Relative path, components separated by `/` (no leading slash).
         path: String,
     },
+    /// COMMIT (NFSv3): make previously-written data for the file
+    /// durable. The plain store server acknowledges immediately (its
+    /// writes are synchronous); the koshad loopback server treats it as
+    /// a write-behind replication flush barrier (DESIGN.md §11).
+    Commit {
+        /// File handle.
+        fh: Fh,
+    },
 }
 
 impl NfsRequest {
     /// Stable lower-case procedure labels, indexed by
     /// [`NfsRequest::proc_index`] (used for per-procedure metrics).
-    pub const PROC_NAMES: [&'static str; 20] = [
+    pub const PROC_NAMES: [&'static str; 21] = [
         "null",
         "mount",
         "getattr",
@@ -524,6 +532,7 @@ impl NfsRequest {
         "readdir",
         "fsstat",
         "lookup_path",
+        "commit",
     ];
 
     /// Dense index of this procedure into [`NfsRequest::PROC_NAMES`].
@@ -550,6 +559,7 @@ impl NfsRequest {
             NfsRequest::Readdir { .. } => 17,
             NfsRequest::Fsstat => 18,
             NfsRequest::LookupPath { .. } => 19,
+            NfsRequest::Commit { .. } => 20,
         }
     }
 
@@ -699,6 +709,10 @@ impl WireWrite for NfsRequest {
                 w.value(dir);
                 w.string(path);
             }
+            NfsRequest::Commit { fh } => {
+                w.u8(20);
+                w.value(fh);
+            }
         }
     }
 }
@@ -788,6 +802,7 @@ impl WireRead for NfsRequest {
                 dir: r.value()?,
                 path: r.string()?,
             },
+            20 => NfsRequest::Commit { fh: r.value()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1080,6 +1095,7 @@ mod tests {
             dir: fh,
             path: "a/b/c".into(),
         });
+        rt(NfsRequest::Commit { fh });
     }
 
     #[test]

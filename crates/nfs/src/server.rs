@@ -286,6 +286,15 @@ impl NfsServer {
                 .access(fh.to_file_id(), uid, gid, want)
                 .map(|granted| NfsReply::Granted { granted })
                 .map_err(Into::into),
+            NfsRequest::Commit { fh } => {
+                // Writes in this model hit the store synchronously, so a
+                // real server has nothing left to stabilize: validate the
+                // handle and ack. (The koshad virtual server overrides
+                // this with a replication flush barrier.)
+                vfs.getattr(fh.to_file_id())
+                    .map(|_| NfsReply::Void)
+                    .map_err(Into::into)
+            }
             NfsRequest::Fsstat => {
                 let (capacity, used, free) = vfs.fsstat();
                 Ok(NfsReply::Stat {

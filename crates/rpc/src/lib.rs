@@ -34,8 +34,8 @@ pub mod wire;
 
 pub use clock::{Clock, SimTime, VirtualClock, WallClock};
 pub use network::{
-    Network, NodeAddr, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId, ServiceMux,
-    TraceHeader,
+    Network, NodeAddr, PumpHook, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId,
+    ServiceMux, TraceHeader,
 };
 pub use simnet::{LatencyModel, NetStats, SimNetwork};
 pub use threadnet::ThreadedNetwork;

@@ -16,8 +16,10 @@
 //! Handles are resolved once at construction; the per-call path is a few
 //! relaxed atomic adds with no locking.
 
-use crate::network::ServiceId;
+use crate::network::{NodeAddr, ServiceId};
 use kosha_obs::{Counter, Gauge, Histogram, Obs};
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Metric handles for one destination service.
@@ -56,6 +58,11 @@ pub(crate) struct NetMetrics {
     per_service: Vec<SvcMetrics>,
     /// Sizes of `call_many` batches (`rpc_fanout_batch_size`).
     pub fanout_batch: Arc<Histogram>,
+    /// Smoothed round-trip latency per destination (EWMA, α = 1/8 like
+    /// TCP's SRTT), fed by every completed call. Backs
+    /// [`crate::Network::peer_latency_nanos`] for latency-aware replica
+    /// selection.
+    peer_latency: RwLock<HashMap<u64, u64>>,
 }
 
 impl NetMetrics {
@@ -92,7 +99,24 @@ impl NetMetrics {
             obs,
             per_service,
             fanout_batch,
+            peer_latency: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Folds one completed round trip into the destination's EWMA.
+    pub fn note_peer_latency(&self, to: NodeAddr, nanos: u64) {
+        let mut m = self.peer_latency.write();
+        match m.get_mut(&to.0) {
+            Some(e) => *e = (*e * 7 + nanos) / 8,
+            None => {
+                m.insert(to.0, nanos);
+            }
+        }
+    }
+
+    /// The destination's smoothed latency, if any traffic was observed.
+    pub fn peer_latency(&self, to: NodeAddr) -> Option<u64> {
+        self.peer_latency.read().get(&to.0).copied()
     }
 
     /// The observability domain (for exposition and tests).
@@ -155,6 +179,19 @@ mod tests {
                 .get(),
             0
         );
+    }
+
+    #[test]
+    fn peer_latency_ewma_smooths() {
+        let m = NetMetrics::new();
+        let to = NodeAddr(5);
+        assert_eq!(m.peer_latency(to), None);
+        m.note_peer_latency(to, 800);
+        assert_eq!(m.peer_latency(to), Some(800));
+        m.note_peer_latency(to, 0);
+        // One zero sample drags the estimate down by 1/8th.
+        assert_eq!(m.peer_latency(to), Some(700));
+        assert_eq!(m.peer_latency(NodeAddr(6)), None);
     }
 
     #[test]

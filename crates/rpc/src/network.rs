@@ -13,6 +13,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Physical address of a machine (stable across its lifetime, unlike its
 /// Pastry identifier, which changes if the node is reincarnated).
@@ -389,6 +390,17 @@ impl ServiceMux {
     }
 }
 
+/// A periodic maintenance hook a transport may drive on behalf of a
+/// node — Kosha registers its write-behind replication pump here so
+/// queued replica mutations are flushed even when the node is
+/// otherwise idle. Implementations must be cheap when there is nothing
+/// to do and must never call back into the registering node's own
+/// services (the usual re-entrancy discipline).
+pub trait PumpHook: Send + Sync {
+    /// Drains whatever the owner has queued.
+    fn pump(&self);
+}
+
 /// A transport connecting nodes. Implementations: [`crate::SimNetwork`]
 /// (deterministic, virtual time) and [`crate::ThreadedNetwork`] (real
 /// threads).
@@ -422,6 +434,27 @@ pub trait Network: Send + Sync {
 
     /// Whether `addr` is currently reachable (used by liveness probes).
     fn is_up(&self, addr: NodeAddr) -> bool;
+
+    /// Registers a [`PumpHook`] the transport should drive roughly every
+    /// `interval`. Returns `true` when the transport runs the hook
+    /// itself on a background worker ([`crate::ThreadedNetwork`]);
+    /// `false` when the caller must drive pumping explicitly —
+    /// [`crate::SimNetwork`] records the hook and exposes `run_pumps()`
+    /// so virtual-time tests and benches stay deterministic. The hook is
+    /// held weakly: it is dropped (and a worker exits) once the owner
+    /// goes away. The default implementation ignores the registration.
+    fn schedule_pump(&self, hook: std::sync::Weak<dyn PumpHook>, interval: Duration) -> bool {
+        let _ = (hook, interval);
+        false
+    }
+
+    /// Smoothed round-trip latency to `to` in nanoseconds (EWMA over
+    /// completed calls from any source), or `None` before any traffic
+    /// has been observed. Feeds latency-aware replica-read selection.
+    fn peer_latency_nanos(&self, to: NodeAddr) -> Option<u64> {
+        let _ = to;
+        None
+    }
 }
 
 /// Typed convenience wrapper: encode `msg`, call, decode the reply.

@@ -21,13 +21,13 @@
 use crate::clock::{Clock, SimTime, VirtualClock};
 use crate::metrics::NetMetrics;
 use crate::network::{
-    Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceMux, TraceHeader,
+    Network, NodeAddr, PumpHook, RpcError, RpcRequest, RpcResponse, ServiceMux, TraceHeader,
 };
 use kosha_obs::{trace, Obs};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// Cost parameters for the simulated cluster.
@@ -158,6 +158,11 @@ pub struct SimNetwork {
     coords: RwLock<HashMap<NodeAddr, (f64, f64)>>,
     stats: NetStats,
     metrics: NetMetrics,
+    /// Pumps registered via [`Network::schedule_pump`]. The simulation
+    /// never drives them spontaneously (that would break determinism);
+    /// tests and benches drain them explicitly with
+    /// [`SimNetwork::run_pumps`].
+    pumps: Mutex<Vec<Weak<dyn PumpHook>>>,
 }
 
 impl SimNetwork {
@@ -172,6 +177,7 @@ impl SimNetwork {
             coords: RwLock::new(HashMap::new()),
             stats: NetStats::default(),
             metrics: NetMetrics::new(),
+            pumps: Mutex::new(Vec::new()),
         })
     }
 
@@ -259,6 +265,22 @@ impl SimNetwork {
     pub fn attached(&self) -> Vec<NodeAddr> {
         self.nodes.read().keys().copied().collect()
     }
+
+    /// Runs every registered [`PumpHook`] once, at a deterministic point
+    /// chosen by the caller — the simulation's replacement for the
+    /// background pump worker a real-time transport runs. Dead hooks
+    /// (owner dropped) are pruned. Returns how many hooks ran.
+    pub fn run_pumps(&self) -> usize {
+        let hooks: Vec<Arc<dyn PumpHook>> = {
+            let mut pumps = self.pumps.lock();
+            pumps.retain(|w| w.strong_count() > 0);
+            pumps.iter().filter_map(Weak::upgrade).collect()
+        };
+        for h in &hooks {
+            h.pump();
+        }
+        hooks.len()
+    }
 }
 
 impl SimNetwork {
@@ -286,7 +308,11 @@ impl SimNetwork {
             self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
             self.clock.advance(self.model.timeout);
             svc.failed.inc();
-            svc.latency.record(self.clock.now().since_nanos(start));
+            let elapsed = self.clock.now().since_nanos(start);
+            svc.latency.record(elapsed);
+            // A full timeout feeds the EWMA too: dead or flaky targets
+            // look slow, steering replica reads elsewhere.
+            self.metrics.note_peer_latency(to, elapsed);
             return Err(RpcError::Unreachable(to));
         };
 
@@ -299,7 +325,9 @@ impl SimNetwork {
             if result.is_err() {
                 svc.failed.inc();
             }
-            svc.latency.record(self.clock.now().since_nanos(start));
+            let elapsed = self.clock.now().since_nanos(start);
+            svc.latency.record(elapsed);
+            self.metrics.note_peer_latency(to, elapsed);
             return result;
         }
 
@@ -329,7 +357,9 @@ impl SimNetwork {
         if result.is_err() {
             svc.failed.inc();
         }
-        svc.latency.record(self.clock.now().since_nanos(start));
+        let elapsed = self.clock.now().since_nanos(start);
+        svc.latency.record(elapsed);
+        self.metrics.note_peer_latency(to, elapsed);
         result
     }
 }
@@ -401,6 +431,18 @@ impl Network for SimNetwork {
 
     fn is_up(&self, addr: NodeAddr) -> bool {
         !self.down.read().contains(&addr) && self.nodes.read().contains_key(&addr)
+    }
+
+    /// Records the hook for [`SimNetwork::run_pumps`] and returns
+    /// `false`: under virtual time the *caller* decides when pumping
+    /// happens, keeping runs deterministic.
+    fn schedule_pump(&self, hook: Weak<dyn PumpHook>, _interval: Duration) -> bool {
+        self.pumps.lock().push(hook);
+        false
+    }
+
+    fn peer_latency_nanos(&self, to: NodeAddr) -> Option<u64> {
+        self.metrics.peer_latency(to)
     }
 }
 

@@ -18,13 +18,15 @@
 use crate::clock::{Clock, WallClock};
 use crate::metrics::NetMetrics;
 use crate::network::{
-    Network, NodeAddr, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux, TraceHeader,
+    Network, NodeAddr, PumpHook, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux,
+    TraceHeader,
 };
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use kosha_obs::{trace, Obs};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 type ReplyTx = Sender<Result<RpcResponse, RpcError>>;
@@ -62,6 +64,9 @@ pub struct ThreadedNetwork {
     /// How long callers wait for a reply before declaring the node dead.
     call_timeout: Duration,
     metrics: NetMetrics,
+    /// Raised on drop; pump worker threads exit at their next tick.
+    pump_stop: Arc<AtomicBool>,
+    pump_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ThreadedNetwork {
@@ -74,6 +79,8 @@ impl ThreadedNetwork {
             down: RwLock::new(HashSet::new()),
             call_timeout,
             metrics: NetMetrics::new(),
+            pump_stop: Arc::new(AtomicBool::new(false)),
+            pump_threads: Mutex::new(Vec::new()),
         })
     }
 
@@ -156,6 +163,10 @@ impl ThreadedNetwork {
 
 impl Drop for ThreadedNetwork {
     fn drop(&mut self) {
+        self.pump_stop.store(true, Ordering::SeqCst);
+        for h in self.pump_threads.lock().drain(..) {
+            let _ = h.join();
+        }
         for (_, mb) in self.nodes.write().drain() {
             mb.stop();
         }
@@ -216,7 +227,9 @@ impl ThreadedNetwork {
             Ok(resp) => svc.bytes.add((req_bytes + resp.wire_size()) as u64),
             Err(_) => svc.failed.inc(),
         }
-        svc.latency.record(self.clock.now().since_nanos(start));
+        let elapsed = self.clock.now().since_nanos(start);
+        svc.latency.record(elapsed);
+        self.metrics.note_peer_latency(to, elapsed);
         result
     }
 }
@@ -282,6 +295,45 @@ impl Network for ThreadedNetwork {
 
     fn is_up(&self, addr: NodeAddr) -> bool {
         !self.down.read().contains(&addr) && self.nodes.read().keys().any(|(a, _)| *a == addr)
+    }
+
+    /// Spawns a background worker that fires the hook every `interval`
+    /// until the network is dropped or the hook's owner goes away.
+    /// Returns `true`: on real threads the transport owns pump timing.
+    fn schedule_pump(&self, hook: Weak<dyn PumpHook>, interval: Duration) -> bool {
+        let stop = Arc::clone(&self.pump_stop);
+        // Poll the stop flag at least every 20ms so Drop never blocks
+        // behind a long flush interval.
+        let tick = interval
+            .min(Duration::from_millis(20))
+            .max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("writeback-pump".to_string())
+            .spawn(move || {
+                let mut since_pump = Duration::ZERO;
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(tick);
+                    since_pump += tick;
+                    if since_pump < interval {
+                        continue;
+                    }
+                    since_pump = Duration::ZERO;
+                    match hook.upgrade() {
+                        Some(h) => h.pump(),
+                        None => return,
+                    }
+                }
+            })
+            .expect("spawn pump thread");
+        self.pump_threads.lock().push(handle);
+        true
+    }
+
+    fn peer_latency_nanos(&self, to: NodeAddr) -> Option<u64> {
+        self.metrics.peer_latency(to)
     }
 }
 
