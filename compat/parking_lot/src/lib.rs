@@ -5,12 +5,77 @@
 //! non-poisoning guards. Backed by `std::sync`; a poisoned std lock (a
 //! panic while holding the guard) is recovered into the inner value,
 //! matching parking_lot's no-poisoning semantics.
+//!
+//! With the `lockcheck` feature enabled, every acquisition is recorded
+//! in a global lock-order graph keyed by call site and checked for
+//! cycles (potential deadlocks) — see the [`lockcheck`] module. Guards
+//! are this crate's own types so they can carry the held-site token;
+//! they deref to the protected value exactly like the real crate's.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(feature = "lockcheck")]
+pub mod lockcheck;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
 
 /// Non-poisoning mutex with the `parking_lot::Mutex` API subset.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+/// Guard providing exclusive access to a [`Mutex`]'s value.
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    _held: lockcheck::HeldToken,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+/// Guard providing shared access to a [`RwLock`]'s value.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    _held: lockcheck::HeldToken,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Guard providing exclusive access to a [`RwLock`]'s value.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockcheck")]
+    _held: lockcheck::HeldToken,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+macro_rules! guard_impls {
+    ($guard:ident, mut) => {
+        guard_impls!($guard);
+        impl<T: ?Sized> DerefMut for $guard<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                &mut self.inner
+            }
+        }
+    };
+    ($guard:ident) => {
+        impl<T: ?Sized> Deref for $guard<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $guard<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+        impl<T: ?Sized + fmt::Display> fmt::Display for $guard<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+    };
+}
+
+guard_impls!(MutexGuard, mut);
+guard_impls!(RwLockReadGuard);
+guard_impls!(RwLockWriteGuard, mut);
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
@@ -29,20 +94,34 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Never poisons.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
+        #[cfg(feature = "lockcheck")]
+        let _held = lockcheck::on_acquire(std::panic::Location::caller(), "mutex", true);
+        let inner = match self.0.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        MutexGuard {
+            #[cfg(feature = "lockcheck")]
+            _held,
+            inner,
         }
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.0.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "lockcheck")]
+            _held: lockcheck::on_acquire(std::panic::Location::caller(), "mutex.try", false),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -76,18 +155,34 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access. Never poisons.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.0.read() {
+        #[cfg(feature = "lockcheck")]
+        let _held = lockcheck::on_acquire(std::panic::Location::caller(), "rwlock.read", true);
+        let inner = match self.0.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            #[cfg(feature = "lockcheck")]
+            _held,
+            inner,
         }
     }
 
     /// Acquires exclusive write access. Never poisons.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.0.write() {
+        #[cfg(feature = "lockcheck")]
+        let _held = lockcheck::on_acquire(std::panic::Location::caller(), "rwlock.write", true);
+        let inner = match self.0.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            #[cfg(feature = "lockcheck")]
+            _held,
+            inner,
         }
     }
 

@@ -133,6 +133,7 @@ impl HandleTable {
 
     /// Drops every cached location in the table (full cache flush).
     pub fn clear_locations_everywhere(&mut self) {
+        // lint: allow(L002) independent per-entry mutation; no order leaks out
         for e in self.entries.values_mut() {
             e.loc = None;
         }
@@ -183,6 +184,7 @@ impl HandleTable {
             let is_ancestor = p == "/" || path.starts_with(&format!("{p}/"));
             is_ancestor || p == path || p.starts_with(&descendant_prefix)
         };
+        // lint: allow(L002) independent per-entry mutation; no order leaks out
         for e in self.entries.values_mut() {
             if on_chain(e.path.as_str()) {
                 e.loc = None;
@@ -193,11 +195,13 @@ impl HandleTable {
 
     /// Drops every cached location pointing at a failed node.
     pub fn clear_locations_at(&mut self, addr: NodeAddr) {
+        // lint: allow(L002) independent per-entry mutation; no order leaks out
         for e in self.entries.values_mut() {
             if e.loc.map(|l| l.addr) == Some(addr) {
                 e.loc = None;
             }
         }
+        // lint: allow(L002) independent per-entry mutation; no order leaks out
         for v in self.replica_locs.values_mut() {
             v.retain(|(a, _)| *a != addr);
         }

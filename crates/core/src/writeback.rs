@@ -353,7 +353,10 @@ impl KoshaNode {
     /// pump, and by tests/benches that need a settled cluster. A no-op
     /// when nothing is queued (and under `Sync` replication, always).
     pub fn flush_replication(&self) {
-        let targets: Vec<NodeAddr> = self.writeback.queues.lock().keys().copied().collect();
+        let mut targets: Vec<NodeAddr> = self.writeback.queues.lock().keys().copied().collect();
+        // Flush in address order: queue-map iteration order must not
+        // leak into the batch order `call_many` charges and traces.
+        targets.sort();
         if !targets.is_empty() {
             self.flush_writeback_targets(targets);
         }

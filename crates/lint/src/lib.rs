@@ -1,0 +1,1354 @@
+//! `kosha-lint`: a workspace concurrency & determinism analyzer.
+//!
+//! Kosha's failover correctness rides on lock discipline across two
+//! transports, and the `BENCH_*` CI gates depend on byte-deterministic
+//! execution. This crate is a hand-rolled, zero-dependency Rust-source
+//! scanner (no `syn`, no crates.io access needed) that enforces the
+//! project-specific rules those properties depend on:
+//!
+//! * **L001** — a lock guard is live across a blocking RPC
+//!   (`.call(` / `.call_many(` / `call_typed(`). On `ThreadedNetwork`
+//!   this is a deadlock ingredient (the callee may need the same lock via
+//!   a nested RPC) and at minimum head-of-line blocking; on `SimNetwork`
+//!   it hides the hazard the threaded transport then hits for real.
+//! * **L002** — a nondeterminism source (`SystemTime::now`,
+//!   `Instant::now`, `thread::sleep`, or iteration over a
+//!   `HashMap`/`HashSet`) outside the allowlisted clock/transport
+//!   modules. These leak scheduler or hash-seed order into behavior and
+//!   break the `BENCH_fanout` / `BENCH_trace` / `BENCH_writeback`
+//!   byte-determinism gates.
+//! * **L003** — `unwrap()` / `expect(` / `panic!` inside an RPC or NFS
+//!   server-handler module. A panic in a handler kills a mailbox thread
+//!   silently under `ThreadedNetwork`: the node keeps looking alive while
+//!   one of its services is gone.
+//! * **L004** — `WireWrite` / `WireRead` impl pairs whose field order
+//!   disagrees: the encoder writes fields in one order and the decoder
+//!   reads them in another, which corrupts every frame of that type.
+//!
+//! False positives are silenced in place with a justification comment:
+//! `// lint: allow(L00x) <why>` on the offending line or the line above.
+//! The scanner works on sanitized source (comments and string literals
+//! blanked, line structure preserved), so patterns inside strings, docs,
+//! or `#[cfg(test)]` modules are never flagged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The rules the analyzer knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Lock guard live across a blocking RPC.
+    L001,
+    /// Nondeterminism source outside allowlisted modules.
+    L002,
+    /// Panic path inside an RPC/NFS server-handler module.
+    L003,
+    /// Wire encode/decode field-order asymmetry.
+    L004,
+}
+
+impl Rule {
+    /// All rules, in id order.
+    pub const ALL: [Rule; 4] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004];
+
+    /// Stable rule id (`"L001"`…).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::L001 => "lock guard held across a blocking RPC (deadlock / head-of-line risk)",
+            Rule::L002 => "nondeterminism source outside allowlisted clock/transport modules",
+            Rule::L003 => "unwrap()/expect()/panic! inside an RPC/NFS server-handler module",
+            Rule::L004 => "Wire encode/decode field order asymmetry",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Scanner configuration: which files get relaxed or stricter treatment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path suffixes where L002 does not apply: the modules that *are*
+    /// the clock/transport boundary and legitimately touch wall time,
+    /// real sleeps, and scheduler order.
+    pub l002_allow_suffixes: Vec<String>,
+    /// Path suffixes that count as server-handler modules for L003 even
+    /// if the `impl RpcHandler` lives elsewhere (dispatch helpers).
+    pub l003_extra_suffixes: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            l002_allow_suffixes: vec![
+                // The clock abstraction itself.
+                "rpc/src/clock.rs".into(),
+                // The real-thread transport: wall time, sleeps, and real
+                // scheduler order are its entire point.
+                "rpc/src/threadnet.rs".into(),
+            ],
+            l003_extra_suffixes: vec![
+                // Kosha control-plane request execution: called from the
+                // ControlService handler in primary.rs.
+                "core/src/control.rs".into(),
+            ],
+        }
+    }
+}
+
+/// Source with comments and string/char literals blanked (each replaced
+/// by spaces so byte offsets and line numbers are preserved), plus the
+/// suppressions harvested from comments.
+#[derive(Debug)]
+pub struct Sanitized {
+    /// The blanked source text.
+    pub text: String,
+    /// Lines (1-based) on which each rule is suppressed. A
+    /// `// lint: allow(L00x)` comment suppresses its own line and the
+    /// following line, so it works both trailing and standalone.
+    pub allow: BTreeMap<usize, BTreeSet<Rule>>,
+}
+
+fn parse_allow(comment: &str, line: usize, allow: &mut BTreeMap<usize, BTreeSet<Rule>>) {
+    let Some(pos) = comment.find("lint: allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint: allow(".len()..];
+    let Some(end) = rest.find(')') else { return };
+    for tok in rest[..end].split(',') {
+        let tok = tok.trim();
+        let Some(rule) = Rule::ALL.iter().find(|r| r.id() == tok) else {
+            continue;
+        };
+        for l in [line, line + 1] {
+            allow.entry(l).or_default().insert(*rule);
+        }
+    }
+}
+
+/// Blanks comments and string/char literals, preserving layout, and
+/// collects `lint: allow(...)` suppressions from the comments.
+#[must_use]
+pub fn sanitize(src: &str) -> Sanitized {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut allow = BTreeMap::new();
+    let mut st = St::Code;
+    let mut line = 1usize;
+    let mut comment = String::new();
+    let mut comment_line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if st == St::LineComment {
+                parse_allow(&comment, comment_line, &mut allow);
+                comment.clear();
+                st = St::Code;
+            }
+            out.push(b'\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    st = St::LineComment;
+                    comment_line = line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    st = St::BlockComment(1);
+                    comment_line = line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    st = St::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r' || b == b'b' {
+                    // Possible raw string r"...", r#"..."#, br"...", b"...".
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0usize;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = (b == b'r' || bytes.get(i + 1) == Some(&b'r'))
+                        && bytes.get(j) == Some(&b'"');
+                    let is_bytestr = b == b'b' && hashes == 0 && bytes.get(i + 1) == Some(&b'"');
+                    if is_raw {
+                        out.extend(std::iter::repeat_n(b' ', j - i));
+                        out.push(b'"');
+                        i = j + 1;
+                        st = St::RawStr(hashes);
+                    } else if is_bytestr {
+                        out.extend_from_slice(b" \"");
+                        i += 2;
+                        st = St::Str;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Distinguish a char literal from a lifetime: a
+                    // lifetime is 'ident not followed by a closing quote.
+                    let is_char = match bytes.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(c) if *c != b'\'' => bytes.get(i + 2) == Some(&b'\''),
+                        _ => true,
+                    };
+                    if is_char {
+                        st = St::Char;
+                        out.push(b'\'');
+                    } else {
+                        out.push(b'\'');
+                    }
+                    i += 1;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                comment.push(b as char);
+                out.push(b' ');
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 1 {
+                        parse_allow(&comment, comment_line, &mut allow);
+                        comment.clear();
+                        st = St::Code;
+                    } else {
+                        st = St::BlockComment(depth - 1);
+                    }
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    st = St::BlockComment(depth + 1);
+                } else {
+                    comment.push(b as char);
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if b == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if i > bytes.len() {
+                        break;
+                    }
+                } else if b == b'"' {
+                    out.push(b'"');
+                    i += 1;
+                    st = St::Code;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.push(b'"');
+                        out.extend(std::iter::repeat_n(b' ', hashes));
+                        i += 1 + hashes;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+                out.push(b' ');
+                i += 1;
+            }
+            St::Char => {
+                if b == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if i > bytes.len() {
+                        break;
+                    }
+                } else if b == b'\'' {
+                    out.push(b'\'');
+                    i += 1;
+                    st = St::Code;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if st == St::LineComment {
+        parse_allow(&comment, comment_line, &mut allow);
+    }
+    Sanitized {
+        text: String::from_utf8_lossy(&out).into_owned(),
+        allow,
+    }
+}
+
+/// Per-line flags: is this line inside a `#[cfg(test)]` module?
+#[must_use]
+pub fn test_line_mask(sanitized: &str) -> Vec<bool> {
+    let n_lines = sanitized.lines().count() + 2;
+    let mut mask = vec![false; n_lines + 1];
+    let bytes = sanitized.as_bytes();
+    let mut search = 0usize;
+    while let Some(rel) = sanitized[search..].find("#[cfg(test)]") {
+        let attr_at = search + rel;
+        // Find the next `{` after the attribute and mark its block.
+        let Some(open_rel) = sanitized[attr_at..].find('{') else {
+            break;
+        };
+        let open = attr_at + open_rel;
+        let mut depth = 0i32;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            if b == b'{' {
+                depth += 1;
+            } else if b == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        let start_line = line_of(bytes, attr_at);
+        let end_line = line_of(bytes, end);
+        for m in mask
+            .iter_mut()
+            .take(end_line.min(n_lines) + 1)
+            .skip(start_line)
+        {
+            *m = true;
+        }
+        search = end.min(bytes.len().saturating_sub(1)).max(attr_at + 1);
+        if end >= bytes.len() {
+            break;
+        }
+    }
+    mask
+}
+
+fn line_of(bytes: &[u8], pos: usize) -> usize {
+    1 + bytes[..pos.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when `text[pos..]` starts a standalone occurrence of `pat`
+/// (not embedded in a longer identifier on either side).
+fn standalone(text: &[u8], pos: usize, pat: &str) -> bool {
+    if is_ident_byte(pat.as_bytes()[0]) && pos > 0 && is_ident_byte(text[pos - 1]) {
+        return false;
+    }
+    let end = pos + pat.len();
+    // Patterns ending in `(` or `!` delimit themselves.
+    let last = pat.as_bytes()[pat.len() - 1];
+    if is_ident_byte(last) {
+        if let Some(&b) = text.get(end) {
+            if is_ident_byte(b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn find_all(text: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    while let Some(rel) = text[at..].find(pat) {
+        let pos = at + rel;
+        if standalone(text.as_bytes(), pos, pat) {
+            out.push(pos);
+        }
+        at = pos + pat.len().max(1);
+    }
+    out
+}
+
+struct FileCtx<'a> {
+    path: &'a str,
+    text: &'a str,
+    allow: &'a BTreeMap<usize, BTreeSet<Rule>>,
+    test_mask: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    fn suppressed(&self, rule: Rule, line: usize) -> bool {
+        if *self.test_mask.get(line).unwrap_or(&false) {
+            return true;
+        }
+        self.allow
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule))
+    }
+
+    fn emit(&self, out: &mut Vec<Finding>, rule: Rule, line: usize, message: String) {
+        if self.suppressed(rule, line) {
+            return;
+        }
+        out.push(Finding {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L001: lock guard live across a blocking RPC
+// ---------------------------------------------------------------------------
+
+const ACQUIRE_PATS: [&str; 4] = [".lock()", ".read()", ".write()", ".try_lock()"];
+const CALL_PATS: [&str; 3] = [".call(", ".call_many(", "call_typed("];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    Open,
+    Close,
+    Semi,
+    Let,
+    Acquire,
+    Call,
+    Drop,
+    Match,
+    For,
+}
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    depth: i32,
+    line: usize,
+}
+
+fn ident_after(text: &str, mut pos: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    while pos < bytes.len() && (bytes[pos] == b' ' || bytes[pos] == b'\n') {
+        pos += 1;
+    }
+    let start = pos;
+    while pos < bytes.len() && is_ident_byte(bytes[pos]) {
+        pos += 1;
+    }
+    if pos == start {
+        return None;
+    }
+    Some((text[start..pos].to_string(), pos))
+}
+
+/// Detects lock guards that are still live when a blocking RPC is
+/// issued. Tracks three shapes:
+///
+/// 1. `let g = x.lock();` … `net.call(...)` before `g`'s scope ends or
+///    `drop(g)` runs,
+/// 2. a temporary guard and an RPC inside one statement
+///    (`net.call(a, b, state.lock().y)`), and
+/// 3. `match x.lock().y { … net.call(...) … }` / `for v in x.lock()…`,
+///    where Rust extends the scrutinee temporary across the whole block.
+fn check_l001(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let text = ctx.text;
+    let bytes = text.as_bytes();
+
+    // Gather positioned events, then walk them in order.
+    let mut events: Vec<(usize, Ev)> = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'{' => events.push((i, Ev::Open)),
+            b'}' => events.push((i, Ev::Close)),
+            b';' => events.push((i, Ev::Semi)),
+            _ => {}
+        }
+    }
+    for p in find_all(text, "let ") {
+        events.push((p, Ev::Let));
+    }
+    for pat in ACQUIRE_PATS {
+        for p in find_all(text, pat) {
+            events.push((p, Ev::Acquire));
+        }
+    }
+    for pat in CALL_PATS {
+        for p in find_all(text, pat) {
+            events.push((p, Ev::Call));
+        }
+    }
+    for p in find_all(text, "drop(") {
+        events.push((p, Ev::Drop));
+    }
+    for p in find_all(text, "match ") {
+        events.push((p, Ev::Match));
+    }
+    for p in find_all(text, "for ") {
+        events.push((p, Ev::For));
+    }
+    events.sort_by_key(|&(p, _)| p);
+
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    // Open `let` binding: (pattern text, declaration depth, last acquire pos).
+    let mut open_let: Option<(String, i32, Option<usize>)> = None;
+    // Statement-local flags (reset at `;`, `{`, `}`).
+    let mut stmt_acquire: Option<usize> = None;
+    let mut stmt_call: Option<usize> = None;
+    // Position where a `match`/`for` header started, if its block should
+    // pin a header temporary.
+    let mut header_kw: Option<(Ev, usize)> = None;
+
+    for (pos, ev) in events {
+        match ev {
+            Ev::Open => {
+                depth += 1;
+                // A `match`/`for` header that acquired a lock extends the
+                // guard across the whole block it opens.
+                if let (Some((kw, _)), Some(acq)) = (header_kw, stmt_acquire) {
+                    if kw == Ev::Match || kw == Ev::For {
+                        guards.push(Guard {
+                            name: "<scrutinee temporary>".into(),
+                            depth,
+                            line: line_of(bytes, acq),
+                        });
+                    }
+                }
+                header_kw = None;
+                stmt_acquire = None;
+                stmt_call = None;
+            }
+            Ev::Close => {
+                guards.retain(|g| g.depth < depth);
+                depth -= 1;
+                stmt_acquire = None;
+                stmt_call = None;
+                header_kw = None;
+                // A `}` can also terminate an open let (`let x = match … };`)
+                if let Some((_, d, _)) = open_let {
+                    if depth < d {
+                        open_let = None;
+                    }
+                }
+            }
+            Ev::Semi => {
+                if let Some((name, d, Some(acq))) = open_let.clone() {
+                    if d == depth {
+                        // Guard binding only when the initializer *ends*
+                        // with the acquisition (otherwise the guard is a
+                        // temporary that dies with this statement).
+                        let tail = &text[acq..pos];
+                        let tail_end = tail.find(')').map(|k| &tail[k + 1..]).unwrap_or("");
+                        if tail_end.chars().all(|c| c.is_whitespace() || c == ')') {
+                            guards.push(Guard {
+                                name,
+                                depth: d,
+                                line: line_of(bytes, acq),
+                            });
+                        }
+                    }
+                }
+                if open_let.as_ref().is_some_and(|&(_, d, _)| d >= depth) {
+                    open_let = None;
+                }
+                stmt_acquire = None;
+                stmt_call = None;
+                header_kw = None;
+            }
+            Ev::Let => {
+                let name = ident_after(text, pos + 4)
+                    .map(|(w, after)| {
+                        if w == "mut" {
+                            ident_after(text, after).map(|(w2, _)| w2).unwrap_or(w)
+                        } else {
+                            w
+                        }
+                    })
+                    .unwrap_or_else(|| "<pattern>".into());
+                open_let = Some((name, depth, None));
+            }
+            Ev::Acquire => {
+                stmt_acquire = Some(pos);
+                if let Some((_, _, acq)) = &mut open_let {
+                    *acq = Some(pos);
+                }
+                if let Some(call) = stmt_call {
+                    ctx.emit(
+                        out,
+                        Rule::L001,
+                        line_of(bytes, call),
+                        format!(
+                            "blocking RPC in the same statement as a lock acquisition \
+                             (guard temporary from line {} is held across the call)",
+                            line_of(bytes, pos)
+                        ),
+                    );
+                }
+            }
+            Ev::Call => {
+                stmt_call = Some(pos);
+                let line = line_of(bytes, pos);
+                if let Some(acq) = stmt_acquire {
+                    ctx.emit(
+                        out,
+                        Rule::L001,
+                        line,
+                        format!(
+                            "blocking RPC in the same statement as a lock acquisition \
+                             (guard temporary from line {} is held across the call)",
+                            line_of(bytes, acq)
+                        ),
+                    );
+                } else if let Some(g) = guards.last() {
+                    ctx.emit(
+                        out,
+                        Rule::L001,
+                        line,
+                        format!(
+                            "blocking RPC while lock guard `{}` (acquired line {}) is live; \
+                             drop the guard (or clone the needed data out) before calling",
+                            g.name, g.line
+                        ),
+                    );
+                }
+            }
+            Ev::Drop => {
+                if let Some((name, _)) = ident_after(text, pos + 5) {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+            Ev::Match | Ev::For => header_kw = Some((ev, pos)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L002: nondeterminism sources
+// ---------------------------------------------------------------------------
+
+const TIME_PATS: [(&str, &str); 3] = [
+    ("SystemTime::now", "wall-clock read"),
+    ("Instant::now", "monotonic-clock read"),
+    ("thread::sleep", "real-time sleep"),
+];
+
+const ITER_METHODS: [&str; 7] = [
+    "iter()",
+    "iter_mut()",
+    "keys()",
+    "values()",
+    "values_mut()",
+    "drain()",
+    "into_iter()",
+];
+
+/// Method-chain tails whose result does not depend on iteration order,
+/// so hash-map iteration feeding them is deterministic after all.
+const ORDER_INSENSITIVE: [&str; 10] = [
+    ".sum()",
+    ".count()",
+    ".len()",
+    ".max()",
+    ".min()",
+    ".any(",
+    ".all(",
+    ".sum::<",
+    ".max_by_key(",
+    ".min_by_key(",
+];
+
+/// Collects identifiers declared (as fields or lets) with a
+/// `HashMap`/`HashSet` type in this file, including ones wrapped in
+/// `Mutex<…>` / `RwLock<…>` / `Arc<…>`.
+fn hash_container_names(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let bytes = text.as_bytes();
+    for ty in ["HashMap<", "HashSet<", "HashMap::", "HashSet::"] {
+        for pos in find_all(text, ty) {
+            // Walk backwards over wrapper types to the `name :` or
+            // `name =` that introduced it.
+            let mut k = pos;
+            while k > 0 {
+                let b = bytes[k - 1];
+                if b == b':' || b == b'=' {
+                    break;
+                }
+                if b == b'\n' || b == b';' || b == b'(' || b == b'{' {
+                    k = 0;
+                    break;
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                continue;
+            }
+            // Skip `::` paths (e.g. `collections::HashMap`).
+            if bytes[k - 1] == b':' && k >= 2 && bytes[k - 2] == b':' {
+                continue;
+            }
+            let mut end = k - 1;
+            while end > 0 && (bytes[end - 1] == b' ' || bytes[end - 1] == b':') {
+                end -= 1;
+            }
+            let mut start = end;
+            while start > 0 && is_ident_byte(bytes[start - 1]) {
+                start -= 1;
+            }
+            if start < end {
+                let name = &text[start..end];
+                if name != "let" && name != "mut" && !name.is_empty() {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+    }
+    names
+}
+
+fn check_l002(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg
+        .l002_allow_suffixes
+        .iter()
+        .any(|s| ctx.path.ends_with(s.as_str()))
+    {
+        return;
+    }
+    let text = ctx.text;
+    let bytes = text.as_bytes();
+    for (pat, what) in TIME_PATS {
+        for pos in find_all(text, pat) {
+            let line = line_of(bytes, pos);
+            ctx.emit(
+                out,
+                Rule::L002,
+                line,
+                format!(
+                    "{what} (`{pat}`) outside an allowlisted clock/transport module; \
+                     use the shared transport clock so runs stay deterministic"
+                ),
+            );
+        }
+    }
+
+    let names = hash_container_names(text);
+    for name in &names {
+        for pos in find_all(text, name) {
+            let rest = &text[pos + name.len()..];
+            // Allow one guard hop: `name.lock().iter()` etc.
+            let mut tail = rest;
+            for hop in [".lock().", ".read().", ".write()."] {
+                if let Some(t) = tail.strip_prefix(hop) {
+                    tail = t;
+                }
+            }
+            let tail = tail.strip_prefix('.').unwrap_or(tail);
+            let Some(m) = ITER_METHODS.iter().find(|m| tail.starts_with(**m)) else {
+                continue;
+            };
+            let after = &tail[m.len()..];
+            let chain = &after[..after.len().min(120)];
+            if ORDER_INSENSITIVE.iter().any(|t| chain.starts_with(t)) {
+                continue;
+            }
+            // Collect-then-sort: `let v: Vec<_> = m.keys().collect();
+            // v.sort();` restores determinism — skip when the statement
+            // is immediately followed by a sort of its result.
+            if let Some(semi) = after.find(';') {
+                let next = &after[semi..after.len().min(semi + 400)];
+                if next.contains(".sort") {
+                    continue;
+                }
+            }
+            let line = line_of(bytes, pos);
+            ctx.emit(
+                out,
+                Rule::L002,
+                line,
+                format!(
+                    "iteration over hash container `{name}` leaks nondeterministic order; \
+                     sort the result or use a BTree collection"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L003: panic paths in handler modules
+// ---------------------------------------------------------------------------
+
+const PANIC_PATS: [(&str, &str); 3] = [
+    (".unwrap()", "unwrap()"),
+    (".expect(", "expect()"),
+    ("panic!(", "panic!"),
+];
+
+fn is_handler_module(ctx: &FileCtx<'_>, cfg: &Config) -> bool {
+    if cfg
+        .l003_extra_suffixes
+        .iter()
+        .any(|s| ctx.path.ends_with(s.as_str()))
+    {
+        return true;
+    }
+    let bytes = ctx.text.as_bytes();
+    find_all(ctx.text, "impl RpcHandler for")
+        .iter()
+        .any(|&p| !ctx.test_mask.get(line_of(bytes, p)).unwrap_or(&false))
+}
+
+fn check_l003(ctx: &FileCtx<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    if !is_handler_module(ctx, cfg) {
+        return;
+    }
+    let bytes = ctx.text.as_bytes();
+    for (pat, what) in PANIC_PATS {
+        for pos in find_all(ctx.text, pat) {
+            let line = line_of(bytes, pos);
+            ctx.emit(
+                out,
+                Rule::L003,
+                line,
+                format!(
+                    "{what} in a server-handler module: a panic here kills the \
+                     service's mailbox thread silently under ThreadedNetwork; \
+                     return a protocol error instead"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L004: Wire encode/decode field-order symmetry
+// ---------------------------------------------------------------------------
+
+/// Finds `impl <Trait> for <Type>` blocks and returns
+/// `(type name, body start, body end)`.
+fn impl_blocks(text: &str, trait_name: &str) -> Vec<(String, usize, usize)> {
+    let bytes = text.as_bytes();
+    let pat = format!("impl {trait_name} for ");
+    let mut out = Vec::new();
+    for pos in find_all(text, &pat) {
+        let Some((ty, after)) = ident_after(text, pos + pat.len()) else {
+            continue;
+        };
+        let Some(open_rel) = text[after..].find('{') else {
+            continue;
+        };
+        let open = after + open_rel;
+        let mut depth = 0i32;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            if b == b'{' {
+                depth += 1;
+            } else if b == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        out.push((ty, open, end));
+    }
+    out
+}
+
+/// Field names written by a `WireWrite` impl body, in order of first
+/// occurrence. Only "being written" forms count (`w.u64(self.f)`,
+/// `self.f.write(w)`, `(&self.f).write(w)`), so match scrutinees and
+/// other incidental `self.f` mentions don't pollute the order.
+fn written_fields(body: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let bytes = body.as_bytes();
+    for pos in find_all(body, "self.") {
+        let Some((field, after)) = ident_after(body, pos + 5) else {
+            continue;
+        };
+        // Writing forms: preceded by `(`/`&` (an argument to a writer
+        // primitive) or followed by `.write(`.
+        let prev = if pos == 0 { b' ' } else { bytes[pos - 1] };
+        let arg_form = prev == b'(' || prev == b'&' || prev == b'*';
+        let method_form = body[after..].starts_with(".write(")
+            || body[after..].starts_with(".encode()")
+            || body[after..].starts_with(" as ");
+        if (arg_form || method_form) && !out.contains(&field) {
+            out.push(field);
+        }
+    }
+    out
+}
+
+/// Field names produced by a `WireRead` impl body, in order: struct
+/// literal fields (`f: expr`) and `let f = …;` bindings that feed them.
+fn read_fields(body: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let bytes = body.as_bytes();
+    // `let f = r.…` bindings, in order.
+    for pos in find_all(body, "let ") {
+        let Some((name, _)) = ident_after(body, pos + 4) else {
+            continue;
+        };
+        let name = if name == "mut" {
+            match ident_after(body, pos + 8) {
+                Some((n, _)) => n,
+                None => continue,
+            }
+        } else {
+            name
+        };
+        if !out.contains(&name) {
+            out.push(name);
+        }
+    }
+    // Struct-literal fields `f: expr,` — field name followed by `:` that
+    // is not `::`, inside the body.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b':' {
+            continue;
+        }
+        if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+            continue;
+        }
+        if i > 0 && bytes[i - 1] == b':' {
+            continue;
+        }
+        let mut start = i;
+        while start > 0 && is_ident_byte(bytes[start - 1]) {
+            start -= 1;
+        }
+        if start == i {
+            continue;
+        }
+        // Must look like a struct-literal entry: preceded by `{`, `,`, or
+        // start-of-line whitespace.
+        let mut k = start;
+        while k > 0 && (bytes[k - 1] == b' ' || bytes[k - 1] == b'\n') {
+            k -= 1;
+        }
+        let sep = if k == 0 { b'{' } else { bytes[k - 1] };
+        if sep != b'{' && sep != b',' && sep != b'(' {
+            continue;
+        }
+        let name = body[start..i].to_string();
+        if !out.contains(&name) {
+            out.push(name);
+        }
+    }
+    out
+}
+
+fn check_l004(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let text = ctx.text;
+    let bytes = text.as_bytes();
+    let writes = impl_blocks(text, "WireWrite");
+    let reads = impl_blocks(text, "WireRead");
+    for (ty, wstart, wend) in &writes {
+        let Some((_, rstart, rend)) = reads.iter().find(|(t, _, _)| t == ty) else {
+            continue;
+        };
+        let wfields = written_fields(&text[*wstart..*wend]);
+        if wfields.len() < 2 {
+            // Enum codecs and single-field structs have no order to get
+            // wrong at this granularity.
+            continue;
+        }
+        let rfields = read_fields(&text[*rstart..*rend]);
+        // Compare relative order of the fields both sides mention.
+        let common_w: Vec<&String> = wfields.iter().filter(|f| rfields.contains(f)).collect();
+        let common_r: Vec<&String> = rfields.iter().filter(|f| wfields.contains(f)).collect();
+        if common_w.len() >= 2 && common_w != common_r {
+            let line = line_of(bytes, *wstart);
+            ctx.emit(
+                out,
+                Rule::L004,
+                line,
+                format!(
+                    "Wire codec for `{ty}` is asymmetric: encoder writes fields in \
+                     order [{}] but decoder reads [{}]",
+                    common_w
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    common_r
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Lints one file's source, returning findings sorted by line.
+#[must_use]
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let sanitized = sanitize(src);
+    let test_mask = test_line_mask(&sanitized.text);
+    let ctx = FileCtx {
+        path,
+        text: &sanitized.text,
+        allow: &sanitized.allow,
+        test_mask: &test_mask,
+    };
+    let mut out = Vec::new();
+    check_l001(&ctx, &mut out);
+    check_l002(&ctx, cfg, &mut out);
+    check_l003(&ctx, cfg, &mut out);
+    check_l004(&ctx, &mut out);
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// Serializes findings as a JSON array (stable field order, no deps).
+#[must_use]
+pub fn findings_to_json(findings: &[Finding], files_scanned: usize) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            f.rule.id(),
+            esc(&f.file),
+            f.line,
+            esc(&f.message),
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"count\": {},\n  \"files_scanned\": {}\n}}\n",
+        findings.len(),
+        files_scanned
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source("crates/x/src/lib.rs", src, &Config::default())
+    }
+
+    fn rules(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- sanitizer ------------------------------------------------------
+
+    #[test]
+    fn sanitize_blanks_strings_and_comments() {
+        let s = sanitize("let x = \"a.lock()\"; // .call( here\n/* .unwrap() */ y");
+        assert!(!s.text.contains(".lock()"));
+        assert!(!s.text.contains(".call("));
+        assert!(!s.text.contains(".unwrap()"));
+        assert!(s.text.contains("let x = "));
+        assert_eq!(s.text.lines().count(), 2);
+    }
+
+    #[test]
+    fn sanitize_handles_raw_strings_chars_and_lifetimes() {
+        let s = sanitize("let p = r#\"x.call(\"#; let c = '\\''; fn f<'a>(x: &'a str) {}");
+        assert!(!s.text.contains(".call("));
+        assert!(s.text.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn suppression_parses_multiple_rules() {
+        let s = sanitize("x(); // lint: allow(L001, L003) justified\ny();");
+        assert!(s.allow[&1].contains(&Rule::L001));
+        assert!(s.allow[&1].contains(&Rule::L003));
+        assert!(s.allow[&2].contains(&Rule::L001));
+    }
+
+    // ---- L001 -----------------------------------------------------------
+
+    #[test]
+    fn l001_flags_named_guard_across_call() {
+        let src = "fn f(&self) {\n    let g = self.state.lock();\n    \
+                   self.net.call(a, b, req);\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L001]);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains('g'));
+    }
+
+    #[test]
+    fn l001_suppressed_with_justification() {
+        let src = "fn f(&self) {\n    let g = self.state.lock();\n    \
+                   // lint: allow(L001) loopback-only, callee takes no locks\n    \
+                   self.net.call(a, b, req);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l001_ok_when_guard_dropped_first() {
+        let src = "fn f(&self) {\n    let g = self.state.lock();\n    let v = g.x;\n    \
+                   drop(g);\n    self.net.call(a, b, v);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l001_ok_when_guard_scope_closed() {
+        let src = "fn f(&self) {\n    let v = {\n        let g = self.state.lock();\n        \
+                   g.x\n    };\n    self.net.call(a, b, v);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l001_flags_same_statement_temporary() {
+        let src = "fn f(&self) {\n    self.net.call(a, b, self.state.lock().clone());\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L001]);
+    }
+
+    #[test]
+    fn l001_flags_match_scrutinee_guard() {
+        let src = "fn f(&self) {\n    match self.state.lock().mode {\n        \
+                   M::A => { self.net.call(a, b, req); }\n        _ => {}\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L001]);
+    }
+
+    #[test]
+    fn l001_ignores_collect_through_guard() {
+        // The guard is a temporary that dies at the end of the `let`
+        // statement; the later call is safe.
+        let src = "fn f(&self) {\n    let targets: Vec<N> = \
+                   self.q.lock().keys().copied().collect();\n    \
+                   self.net.call_many(a, targets);\n}\n";
+        let f = lint(src);
+        assert!(!rules(&f).contains(&Rule::L001), "{f:?}");
+    }
+
+    // ---- L002 -----------------------------------------------------------
+
+    #[test]
+    fn l002_flags_wall_clock_and_sleep() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    \
+                   std::thread::sleep(d);\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L002, Rule::L002]);
+    }
+
+    #[test]
+    fn l002_allows_transport_modules() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        let f = lint_source("crates/rpc/src/threadnet.rs", src, &Config::default());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l002_suppression_works() {
+        let src = "fn f() {\n    // lint: allow(L002) wall time feeds logs only\n    \
+                   let t = Instant::now();\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_hashmap_iteration_order_leak() {
+        let src = "struct S { peers: HashMap<u64, P> }\nfn f(s: &S) {\n    \
+                   let v: Vec<_> = s.peers.keys().collect();\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L002]);
+        assert!(f[0].message.contains("peers"));
+    }
+
+    #[test]
+    fn l002_ignores_order_insensitive_fold() {
+        let src = "struct S { peers: HashMap<u64, P> }\nfn f(s: &S) -> usize {\n    \
+                   s.peers.values().count()\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l002_ignores_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let t = Instant::now(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // ---- L003 -----------------------------------------------------------
+
+    #[test]
+    fn l003_flags_unwrap_in_handler_module() {
+        let src = "impl RpcHandler for S {\n    fn handle(&self) {\n        \
+                   let x = y.unwrap();\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L003]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn l003_suppressed_with_justification() {
+        let src = "impl RpcHandler for S {\n    fn handle(&self) {\n        \
+                   // lint: allow(L003) length checked two lines up\n        \
+                   let x = y.unwrap();\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l003_ignores_non_handler_modules() {
+        let src = "fn helper() { let x = y.unwrap(); }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l003_ignores_tests_in_handler_modules() {
+        let src = "impl RpcHandler for S {\n    fn handle(&self) {}\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // ---- L004 -----------------------------------------------------------
+
+    #[test]
+    fn l004_flags_swapped_field_order() {
+        let src = "impl WireWrite for P {\n    fn write(&self, w: &mut Writer) {\n        \
+                   w.u64(self.a);\n        w.u64(self.b);\n    }\n}\n\
+                   impl WireRead for P {\n    fn read(r: &mut Reader) -> R<Self> {\n        \
+                   Ok(P { b: r.u64()?, a: r.u64()? })\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(rules(&f), vec![Rule::L004]);
+        assert!(f[0].message.contains("[a, b]"));
+        assert!(f[0].message.contains("[b, a]"));
+    }
+
+    #[test]
+    fn l004_accepts_symmetric_codec() {
+        let src = "impl WireWrite for P {\n    fn write(&self, w: &mut Writer) {\n        \
+                   w.u64(self.a);\n        w.u64(self.b);\n    }\n}\n\
+                   impl WireRead for P {\n    fn read(r: &mut Reader) -> R<Self> {\n        \
+                   Ok(P { a: r.u64()?, b: r.u64()? })\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l004_suppressed_with_justification() {
+        let src = "// lint: allow(L004) flag byte legitimately reorders decode\n\
+                   impl WireWrite for P {\n    fn write(&self, w: &mut Writer) {\n        \
+                   w.u64(self.a);\n        w.u64(self.b);\n    }\n}\n\
+                   impl WireRead for P {\n    fn read(r: &mut Reader) -> R<Self> {\n        \
+                   Ok(P { b: r.u64()?, a: r.u64()? })\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn l004_accepts_let_binding_reads() {
+        let src = "impl WireWrite for P {\n    fn write(&self, w: &mut Writer) {\n        \
+                   w.u64(self.a);\n        w.str(&self.b);\n    }\n}\n\
+                   impl WireRead for P {\n    fn read(r: &mut Reader) -> R<Self> {\n        \
+                   let a = r.u64()?;\n        let b = r.str()?;\n        \
+                   Ok(P { a, b })\n    }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    // ---- JSON -----------------------------------------------------------
+
+    #[test]
+    fn json_output_escapes_and_counts() {
+        let f = vec![Finding {
+            rule: Rule::L001,
+            file: "a.rs".into(),
+            line: 3,
+            message: "say \"hi\"".into(),
+        }];
+        let j = findings_to_json(&f, 9);
+        assert!(j.contains("\"rule\": \"L001\""));
+        assert!(j.contains("\\\"hi\\\""));
+        assert!(j.contains("\"files_scanned\": 9"));
+    }
+}

@@ -1,0 +1,117 @@
+//! `kosha-lint` CLI: scans the workspace's non-test Rust sources and
+//! reports rule violations (see the library docs for the rules).
+//!
+//! ```text
+//! kosha-lint [--root PATH] [--json] [--deny] [--list-rules]
+//! ```
+//!
+//! * `--root PATH`   workspace root to scan (default `.`)
+//! * `--json`        machine-readable output
+//! * `--deny`        exit 1 when any finding remains (CI mode)
+//! * `--list-rules`  print the rule table and exit
+//!
+//! Scanned: `crates/*/src/**/*.rs` and the root `src/`. Skipped:
+//! `target/`, vendored `compat/` shims, `tests/`, `benches/`,
+//! `examples/`, and anything inside `#[cfg(test)]` modules. Bench
+//! *binaries* under `crates/bench/src/bin/` are scanned on purpose —
+//! they feed the BENCH_* determinism gates L002 protects.
+
+use kosha_lint::{findings_to_json, Config, Finding, Rule};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const SKIP_DIRS: [&str; 7] = [
+    "target", "compat", "tests", "benches", "examples", ".git", ".github",
+];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("kosha-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{}  {}", r.id(), r.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("kosha-lint: unknown argument `{other}`");
+                eprintln!("usage: kosha-lint [--root PATH] [--json] [--deny] [--list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(&root, &mut files) {
+        eprintln!("kosha-lint: cannot walk {}: {e}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let cfg = Config::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        findings.extend(kosha_lint::lint_source(&rel, &src, &cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    if json {
+        print!("{}", findings_to_json(&findings, scanned));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "kosha-lint: {} finding(s) across {} file(s)",
+            findings.len(),
+            scanned
+        );
+    }
+
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

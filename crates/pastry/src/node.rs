@@ -281,7 +281,11 @@ impl PastryNode {
             st.ls.insert(node)
         };
         if entered_ls {
-            for obs in self.observers.read().iter() {
+            // Snapshot before dispatch: observers run replication RPCs,
+            // and holding the registry lock across them would block
+            // register_observer (and deadlock if a handler re-enters).
+            let observers = self.observers.read().clone();
+            for obs in &observers {
                 obs.on_leaf_joined(node);
             }
         }
@@ -307,8 +311,11 @@ impl PastryNode {
         if removed.is_empty() {
             return;
         }
+        // Snapshot before dispatch, as in `learn`: `on_leaf_left`
+        // triggers re-replication RPCs.
+        let observers = self.observers.read().clone();
         for n in &removed {
-            for obs in self.observers.read().iter() {
+            for obs in &observers {
                 obs.on_leaf_left(*n);
             }
         }
@@ -419,10 +426,10 @@ impl PastryNode {
             );
             match reply {
                 Ok(PastryReply::NextHop { next, owner }) => {
-                    if owner || next.is_none() {
+                    if owner {
                         break;
                     }
-                    let next = next.expect("checked");
+                    let Some(next) = next else { break };
                     if next.id == current.id || path.iter().any(|p| p.id == next.id) {
                         break;
                     }
@@ -581,10 +588,12 @@ impl PastryNode {
                         Err(e) => return Err(e.into()),
                     }
                 };
-                if owner || next.is_none() {
+                if owner {
                     return Ok((current, hops));
                 }
-                let next = next.expect("checked");
+                let Some(next) = next else {
+                    return Ok((current, hops));
+                };
                 if next.id == current.id {
                     return Ok((current, hops));
                 }

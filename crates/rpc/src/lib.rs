@@ -26,6 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+#[cfg(feature = "lockcheck")]
+mod lockcheck_gate;
 mod metrics;
 pub mod network;
 pub mod simnet;

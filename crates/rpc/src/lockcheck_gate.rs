@@ -1,0 +1,68 @@
+//! Transport integration for the `lockcheck` runtime checker
+//! (`parking_lot::lockcheck`, enabled by the `lockcheck` feature).
+//!
+//! Two duties, both compiled only under the feature:
+//!
+//! * [`rpc_gate`] — called at the entry of every blocking
+//!   `Network::call`/`call_many`: asserts the calling thread's tracked
+//!   held-lock set is empty. Holding a lock across a blocking RPC is
+//!   the cross-function form of kosha-lint's L001 and the classic
+//!   distributed-deadlock recipe (the handler on the far side may need
+//!   that very lock). Violations are journaled as
+//!   `lockcheck_held_rpc` events (stamped with the active trace id by
+//!   the journal itself) before the policy panic fires.
+//! * [`install_cycle_hook`] — registered at transport construction:
+//!   forwards lock-order cycle reports from the global checker into
+//!   this transport's journal as `lockcheck_cycle` events. The hook
+//!   holds only a weak reference to the observability domain and
+//!   deregisters itself once the transport is gone.
+
+use std::sync::Weak;
+
+use kosha_obs::Obs;
+use parking_lot::lockcheck::{self, Violation};
+
+use crate::network::NodeAddr;
+
+/// Asserts the calling thread holds no tracked locks at a blocking RPC
+/// boundary; journals and (per lockcheck policy) panics otherwise.
+pub(crate) fn rpc_gate(obs: &Obs, t_nanos: u64, from: NodeAddr, context: &str) {
+    let Some(held) = lockcheck::note_rpc_call(context) else {
+        return;
+    };
+    let sites = held
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    obs.journal.record(
+        t_nanos,
+        from.0,
+        "lockcheck_held_rpc",
+        0,
+        format!("{context}: locks held across blocking RPC: {sites}"),
+    );
+    if lockcheck::panic_on_violation() {
+        panic!("lockcheck: blocking RPC ({context}) issued while holding {sites}");
+    }
+}
+
+/// Forwards cycle (potential-deadlock) reports into the transport's
+/// journal for as long as its observability domain is alive.
+/// Held-across-RPC violations are journaled at the call site by
+/// [`rpc_gate`] with node and service context, so the hook skips them.
+pub(crate) fn install_cycle_hook(
+    obs: Weak<Obs>,
+    now_nanos: impl Fn() -> u64 + Send + Sync + 'static,
+) {
+    lockcheck::add_report_hook(move |v| {
+        let Some(obs) = obs.upgrade() else {
+            return false;
+        };
+        if let Violation::Cycle(c) = v {
+            obs.journal
+                .record(now_nanos(), 0, "lockcheck_cycle", 0, c.to_string());
+        }
+        true
+    });
+}

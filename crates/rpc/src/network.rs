@@ -380,7 +380,11 @@ impl ServiceMux {
     /// dedicate resources per service, e.g. one mailbox thread each).
     #[must_use]
     pub fn services(&self) -> Vec<ServiceId> {
-        self.handlers.read().keys().copied().collect()
+        let mut services: Vec<ServiceId> = self.handlers.read().keys().copied().collect();
+        // Tag order, not hash order: callers spawn per-service resources
+        // (mailbox threads) in this order, and that must be stable.
+        services.sort_by_key(|s| s.index());
+        services
     }
 
     /// Fetches one service's handler.

@@ -169,7 +169,7 @@ impl SimNetwork {
     /// New network with the given latency model.
     #[must_use]
     pub fn new(model: LatencyModel) -> Arc<Self> {
-        Arc::new(SimNetwork {
+        let net = Arc::new(SimNetwork {
             clock: VirtualClock::new(),
             model,
             nodes: RwLock::new(HashMap::new()),
@@ -178,7 +178,13 @@ impl SimNetwork {
             stats: NetStats::default(),
             metrics: NetMetrics::new(),
             pumps: Mutex::new(Vec::new()),
-        })
+        });
+        #[cfg(feature = "lockcheck")]
+        crate::lockcheck_gate::install_cycle_hook(std::sync::Arc::downgrade(&net.metrics.obs()), {
+            let clock = Arc::clone(&net.clock);
+            move || clock.now().0
+        });
+        net
     }
 
     /// New network with zero latency (logic-only tests).
@@ -263,7 +269,11 @@ impl SimNetwork {
     /// All currently attached addresses (test/diagnostic helper).
     #[must_use]
     pub fn attached(&self) -> Vec<NodeAddr> {
-        self.nodes.read().keys().copied().collect()
+        let mut addrs: Vec<NodeAddr> = self.nodes.read().keys().copied().collect();
+        // Address order, not hash order: this is a deterministic
+        // transport and callers iterate the result.
+        addrs.sort();
+        addrs
     }
 
     /// Runs every registered [`PumpHook`] once, at a deterministic point
@@ -371,6 +381,15 @@ impl Network for SimNetwork {
         to: NodeAddr,
         mut req: RpcRequest,
     ) -> Result<RpcResponse, RpcError> {
+        // Gating `call` covers `call_many` too: the sim fans out by
+        // invoking `call` per entry on this same thread.
+        #[cfg(feature = "lockcheck")]
+        crate::lockcheck_gate::rpc_gate(
+            &self.metrics.obs(),
+            self.clock.now().0,
+            from,
+            "SimNetwork::call",
+        );
         // When a trace is active on the calling thread, wrap the RPC in
         // a client span (timed on the virtual clock, so it covers the
         // full modeled round trip) and stamp the child context into the

@@ -73,7 +73,7 @@ impl ThreadedNetwork {
     /// New threaded network with the given caller-side timeout.
     #[must_use]
     pub fn new(call_timeout: Duration) -> Arc<Self> {
-        Arc::new(ThreadedNetwork {
+        let net = Arc::new(ThreadedNetwork {
             clock: WallClock::new(),
             nodes: RwLock::new(HashMap::new()),
             down: RwLock::new(HashSet::new()),
@@ -81,7 +81,13 @@ impl ThreadedNetwork {
             metrics: NetMetrics::new(),
             pump_stop: Arc::new(AtomicBool::new(false)),
             pump_threads: Mutex::new(Vec::new()),
-        })
+        });
+        #[cfg(feature = "lockcheck")]
+        crate::lockcheck_gate::install_cycle_hook(Arc::downgrade(&net.metrics.obs()), {
+            let clock = Arc::clone(&net.clock);
+            move || clock.now().0
+        });
+        net
     }
 
     /// Transport-level observability: per-service call/byte counters and
@@ -241,6 +247,13 @@ impl Network for ThreadedNetwork {
         to: NodeAddr,
         mut req: RpcRequest,
     ) -> Result<RpcResponse, RpcError> {
+        #[cfg(feature = "lockcheck")]
+        crate::lockcheck_gate::rpc_gate(
+            &self.metrics.obs(),
+            self.clock.now().0,
+            from,
+            "ThreadedNetwork::call",
+        );
         // When a trace is active on this thread, wrap the RPC in a
         // client span (wall-clock timed) and stamp the child context
         // into the wire header so the mailbox thread can pick it up.
@@ -267,6 +280,16 @@ impl Network for ThreadedNetwork {
         from: NodeAddr,
         batch: Vec<(NodeAddr, RpcRequest)>,
     ) -> Vec<Result<RpcResponse, RpcError>> {
+        // The per-entry `call` below runs on fresh worker threads whose
+        // held-lock sets are empty; the *caller's* set must be checked
+        // here, before the fan-out blocks on the joins.
+        #[cfg(feature = "lockcheck")]
+        crate::lockcheck_gate::rpc_gate(
+            &self.metrics.obs(),
+            self.clock.now().0,
+            from,
+            "ThreadedNetwork::call_many",
+        );
         self.metrics.fanout_batch.record(batch.len() as u64);
         if batch.len() <= 1 {
             return batch

@@ -68,8 +68,13 @@ impl NfsBaseline {
         for c in comps {
             cur_path.push('/');
             cur_path.push_str(c);
-            cur = match self.dcache.lock().get(&cur_path) {
-                Some(&fh) => fh,
+            // Copy the hit out before matching: a guard in the match
+            // scrutinee lives through the arms, where the miss path
+            // both calls the server and re-locks the cache to insert —
+            // a self-deadlock on the first successful miss lookup.
+            let cached = self.dcache.lock().get(&cur_path).copied();
+            cur = match cached {
+                Some(fh) => fh,
                 None => {
                     let (fh, _) = self.nfs.lookup(SERVER, cur, c)?;
                     self.dcache.lock().insert(cur_path.clone(), fh);
