@@ -1,0 +1,225 @@
+//! Deterministic flight-recorder bench: a Zipf-distributed read
+//! workload against an 8-node cluster with replica reads on, reported
+//! through the recorder/heat/skew analytics this PR introduces.
+//!
+//! A seeded Zipf(s=1) stream of READs over 32 files concentrates demand
+//! on a few objects — the access pattern the paper's §6 load-balance
+//! analysis worries about and the ROADMAP's popularity-aware read
+//! scaling will act on. The bench reports:
+//!
+//! * the read-heat top-N (the hot set, with the sketch's error bounds),
+//! * node load skew (max/mean and Gini over real store ops),
+//! * the flight recorder's footprint: live series, points, the memory
+//!   ceiling, and how many downsample merges bounded it.
+//!
+//! Everything runs on the virtual clock with seeded ids and a seeded
+//! workload RNG; two runs emit byte-identical output. The JSON summary
+//! is written to `BENCH_recorder.json` for CI's determinism gate.
+
+use kosha::{cluster_flight, FlightOptions, KoshaConfig, KoshaMount, KoshaNode};
+use kosha_id::node_id_from_seed;
+use kosha_rpc::{LatencyModel, Network, NodeAddr, SimNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const NODES: usize = 8;
+const FILES: usize = 32;
+const READS: usize = 600;
+const SEED: u64 = 0x5eed_c0de;
+
+/// Zipf(s=1) sampler over ranks `1..=n`: inverse-CDF over the precomputed
+/// cumulative weights `H(k) = Σ 1/r`, scaled to integers so the draw is
+/// pure integer comparison (deterministic).
+struct Zipf {
+    cumulative: Vec<u64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for rank in 1..=n as u64 {
+            acc += 1_000_000 / rank;
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.random_range(0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+fn main() {
+    let json_only = std::env::args().any(|a| a == "--json");
+
+    let net = SimNetwork::new(LatencyModel::default());
+    let mut nodes: Vec<Arc<KoshaNode>> = Vec::new();
+    for i in 0..NODES {
+        let id = node_id_from_seed(&format!("kosha-host-{i}"));
+        let mut cfg = KoshaConfig::for_tests();
+        cfg.distribution_level = 1;
+        cfg.replicas = 2;
+        cfg.read_from_replicas = true;
+        let (node, mux) = KoshaNode::build(cfg, id, NodeAddr(i as u64 + 1), net.clone() as _);
+        net.attach(node.addr(), mux);
+        node.join(if i == 0 { None } else { Some(NodeAddr(1)) })
+            .expect("join");
+        nodes.push(node);
+    }
+    let mount =
+        KoshaMount::new(net.clone() as Arc<dyn Network>, NodeAddr(1), NodeAddr(1)).expect("mount");
+
+    // Files spread over four distributed directories so store load has
+    // room to skew with popularity.
+    for d in 0..4 {
+        mount.mkdir_p(&format!("/kosha/d{d}")).expect("mkdir");
+    }
+    let paths: Vec<String> = (0..FILES)
+        .map(|f| format!("/kosha/d{}/f{:02}", f % 4, f))
+        .collect();
+    for (f, p) in paths.iter().enumerate() {
+        mount.write_file(p, &[f as u8; 512]).expect("seed file");
+    }
+    net.run_pumps();
+
+    // The Zipf read storm, with a recorder tick every 20 reads so the
+    // series see the workload evolve rather than one final point.
+    let zipf = Zipf::new(FILES);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for i in 0..READS {
+        let rank = zipf.sample(&mut rng);
+        mount.read_file(&paths[rank]).expect("zipf read");
+        if i % 20 == 19 {
+            net.run_pumps();
+        }
+    }
+    net.run_pumps();
+
+    let refs: Vec<&KoshaNode> = nodes.iter().map(|n| n.as_ref()).collect();
+    let opts = FlightOptions::default();
+    let report = cluster_flight(Some(&net.obs()), &refs, net.clock().now().0, &opts);
+
+    // Recorder footprint across all domains, plus a depth probe of one
+    // known-busy series on the transport.
+    let transport_obs = net.obs();
+    let probe = "rpc_calls_total{service=\"nfs\"}";
+    let probe_points = transport_obs.recorder.series(probe).map_or(0, |p| p.len());
+    let ticks = transport_obs.recorder.ticks();
+
+    let mut heat_json = String::new();
+    for (i, e) in report.heat.iter().enumerate() {
+        heat_json.push_str(&format!(
+            "    {{\"key\": \"{}\", \"heat_milli\": {}, \"err_milli\": {}}}{}\n",
+            e.key,
+            e.heat_milli,
+            e.err_milli,
+            if i + 1 < report.heat.len() { "," } else { "" }
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"nodes\": {},\n",
+            "  \"files\": {},\n",
+            "  \"reads\": {},\n",
+            "  \"heat_top\": [\n{}  ],\n",
+            "  \"skew\": {{\"max_over_mean_x1000\": {}, \"gini_x1000\": {}}},\n",
+            "  \"slo\": {{\"burn_x1000\": {}, \"over\": {}, \"total\": {}}},\n",
+            "  \"recorder\": {{\n",
+            "    \"series\": {},\n",
+            "    \"memory_ceiling_bytes\": {},\n",
+            "    \"downsamples\": {},\n",
+            "    \"dropped\": {},\n",
+            "    \"transport_ticks\": {},\n",
+            "    \"probe_series_points\": {}\n",
+            "  }}\n",
+            "}}"
+        ),
+        NODES,
+        FILES,
+        READS,
+        heat_json,
+        report.skew_max_over_mean_x1000,
+        report.skew_gini_x1000,
+        report.slo.0,
+        report.slo.1,
+        report.slo.2,
+        report.total_series,
+        report.memory_ceiling_bytes,
+        report.telemetry_drops.3,
+        report.telemetry_drops.2,
+        ticks,
+        probe_points,
+    );
+    std::fs::write("BENCH_recorder.json", format!("{json}\n")).expect("write BENCH_recorder.json");
+
+    if json_only {
+        println!("{json}");
+    } else {
+        println!("==== flight recorder report (Zipf reads) ====");
+        println!(
+            "cluster: {NODES} nodes, {FILES} files, {READS} Zipf(s=1) READs, replica reads on"
+        );
+        println!("hot set (top {}):", report.heat.len());
+        for (i, e) in report.heat.iter().enumerate() {
+            println!(
+                "  {:>2}. {}  heat={}.{:03}  err={}.{:03}",
+                i + 1,
+                e.key,
+                e.heat_milli / 1000,
+                e.heat_milli % 1000,
+                e.err_milli / 1000,
+                e.err_milli % 1000
+            );
+        }
+        println!(
+            "load skew: max/mean {}.{:03}x, gini {}.{:03}",
+            report.skew_max_over_mean_x1000 / 1000,
+            report.skew_max_over_mean_x1000 % 1000,
+            report.skew_gini_x1000 / 1000,
+            report.skew_gini_x1000 % 1000
+        );
+        println!(
+            "recorder: {} series, {} B ceiling, {} downsamples, {} dropped, {} transport ticks, probe {} points",
+            report.total_series,
+            report.memory_ceiling_bytes,
+            report.telemetry_drops.3,
+            report.telemetry_drops.2,
+            ticks,
+            probe_points
+        );
+        println!("wrote BENCH_recorder.json");
+    }
+
+    // The hottest object must be the Zipf rank-1 file.
+    assert_eq!(
+        report.heat.first().map(|e| e.key.as_str()),
+        Some(paths[0].as_str()),
+        "rank-1 file is not the hottest"
+    );
+    // A Zipf workload over a hashed namespace must show real skew.
+    assert!(
+        report.skew_gini_x1000 > 0,
+        "zipf reads produced perfectly uniform node load"
+    );
+    assert!(
+        report.skew_max_over_mean_x1000 > 1000,
+        "max/mean skew should exceed 1.0"
+    );
+    // Recorder memory stays bounded: every series is capped, so the
+    // ceiling is series_count × capacity × 16 bytes at most.
+    let cap = kosha_obs::recorder::DEFAULT_SERIES_CAPACITY;
+    assert!(
+        report.memory_ceiling_bytes <= report.total_series * cap * 16,
+        "memory ceiling {} exceeds series bound",
+        report.memory_ceiling_bytes
+    );
+    // The probe series actually accumulated points (the samplers ran)
+    // and never exceeded its ring capacity.
+    assert!(probe_points > 0, "transport recorder never ticked");
+    assert!(probe_points <= cap, "series exceeded its capacity");
+}

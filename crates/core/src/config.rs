@@ -93,6 +93,12 @@ pub struct KoshaConfig {
     /// path (the default, matching the prototype) or write-behind
     /// through per-target coalescing queues (DESIGN.md §11).
     pub replication_mode: ReplicationMode,
+    /// Flight-recorder sampling interval: how often the node's sampler
+    /// hook snapshots every recorder source into its time-series. Under
+    /// `SimNetwork` the interval is nominal (each `run_pumps()` call
+    /// ticks every hook once); under `ThreadedNetwork` the pump thread
+    /// honors it in wall time.
+    pub sample_interval: Duration,
 }
 
 impl Default for KoshaConfig {
@@ -113,6 +119,7 @@ impl Default for KoshaConfig {
             koshad_op_cost: Duration::from_micros(350),
             trace_sampling: 0,
             replication_mode: ReplicationMode::Sync,
+            sample_interval: Duration::from_millis(50),
         }
     }
 }
@@ -137,6 +144,7 @@ impl KoshaConfig {
             koshad_op_cost: Duration::ZERO,
             trace_sampling: 0,
             replication_mode: ReplicationMode::Sync,
+            sample_interval: Duration::from_millis(50),
         }
     }
 }

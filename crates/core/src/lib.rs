@@ -43,6 +43,7 @@
 
 pub mod config;
 pub mod control;
+pub mod flight;
 pub mod handles;
 pub mod mount;
 pub mod node;
@@ -54,6 +55,7 @@ pub mod stats;
 pub mod writeback;
 
 pub use config::{KoshaConfig, ReplicationMode};
+pub use flight::{cluster_flight, FlightOptions, FlightReport, NodeRow};
 pub use mount::KoshaMount;
 pub use node::KoshaNode;
 pub use stats::{KoshaStats, StatsSnapshot};

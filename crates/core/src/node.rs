@@ -59,6 +59,31 @@ pub struct KoshaNode {
     /// Write-behind replication queues (one per replica target) and the
     /// flush-path metric handles; idle under `ReplicationMode::Sync`.
     pub(crate) writeback: crate::writeback::WritebackState,
+    /// Per-object read popularity (EWMA with half-life decay, capped by
+    /// a space-saving sketch) fed by the `/kosha` read path — the input
+    /// the ROADMAP's popularity-aware read scaling needs.
+    pub(crate) heat: kosha_obs::ReadHeat,
+    /// Keeps the flight-recorder sampler hook alive: the transport holds
+    /// only a `Weak`, so the node owns the `Arc` (dropping the node
+    /// silently unregisters the hook on both transports).
+    _sampler: Arc<NodeSampler>,
+}
+
+/// Per-node flight-recorder ticker. Registered as a transport pump hook:
+/// `SimNetwork` fires it inside `run_pumps()` (deterministic virtual
+/// time), `ThreadedNetwork` from its background pump thread. Each tick
+/// refreshes the self-observability gauges and snapshots every recorder
+/// source at the transport clock's current time.
+struct NodeSampler {
+    obs: Arc<Obs>,
+    clock: Arc<dyn kosha_rpc::Clock>,
+}
+
+impl kosha_rpc::PumpHook for NodeSampler {
+    fn pump(&self) {
+        self.obs.export_self_gauges();
+        self.obs.recorder.sample_all(self.clock.now().0);
+    }
 }
 
 /// Handler wrapper for the Kosha control service.
@@ -122,6 +147,10 @@ impl KoshaNode {
             Arc::clone(&net),
             Arc::clone(&obs),
         );
+        let sampler = Arc::new(NodeSampler {
+            obs: Arc::clone(&obs),
+            clock: net.clock(),
+        });
         let node = Arc::new(KoshaNode {
             info: pastry.info(),
             nfs: NfsClient::new(Arc::clone(&net), addr).observed(&obs),
@@ -130,6 +159,8 @@ impl KoshaNode {
             stats: KoshaStats::new(&obs),
             trace_seq: std::sync::atomic::AtomicU64::new(0),
             writeback: crate::writeback::WritebackState::new(&obs),
+            heat: kosha_obs::ReadHeat::default(),
+            _sampler: Arc::clone(&sampler),
             obs,
             cfg,
             net,
@@ -152,6 +183,14 @@ impl KoshaNode {
             let hook = Arc::downgrade(&node) as Weak<dyn kosha_rpc::PumpHook>;
             let _ = node.net.schedule_pump(hook, flush_interval);
         }
+        // The sampler is always armed (every replication mode): under
+        // SimNetwork each `run_pumps()` call takes one flight-recorder
+        // snapshot per node; under ThreadedNetwork the pump thread ticks
+        // it on the sampling interval.
+        let _ = node.net.schedule_pump(
+            Arc::downgrade(&sampler) as Weak<dyn kosha_rpc::PumpHook>,
+            node.cfg.sample_interval,
+        );
 
         let mux = Arc::new(ServiceMux::new());
         mux.register(ServiceId::Pastry, pastry);
@@ -225,6 +264,15 @@ impl KoshaNode {
     #[must_use]
     pub fn obs(&self) -> Arc<Obs> {
         Arc::clone(&self.obs)
+    }
+
+    /// The `n` hottest objects read through this node's `/kosha` mount,
+    /// decayed to the transport clock's current time. Heat is an EWMA
+    /// with half-life decay in milli-units (1000 ≈ one recent read);
+    /// entries may carry an overestimate bound from sketch evictions.
+    #[must_use]
+    pub fn read_heat_top(&self, n: usize) -> Vec<kosha_obs::HeatEntry> {
+        self.heat.top(n, self.net.clock().now().0)
     }
 
     /// Journals a node-scoped event stamped on the transport clock.

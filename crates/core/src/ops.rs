@@ -125,6 +125,10 @@ impl KoshaNode {
     /// client caching does.
     pub fn k_read(&self, fh: Fh, offset: u64, count: u32) -> NfsResult<(Vec<u8>, bool)> {
         let vpath = self.vh_path(fh)?;
+        // Feed the read-heat tracker before target selection: heat
+        // counts demand for the object regardless of which holder ends
+        // up serving it (the signal hot-replica spawning needs).
+        self.heat.touch(&vpath, self.net.clock().now().0);
         if self.cfg.read_from_replicas {
             if let Some(out) = self.try_replica_read(&vpath, offset, count) {
                 return Ok(out);

@@ -116,7 +116,13 @@ impl KoshaStats {
     /// Resolves (or creates) every counter in `obs`'s registry.
     #[must_use]
     pub fn new(obs: &Obs) -> Self {
-        let c = |name: &str| obs.registry.counter(name);
+        let c = |name: &str| {
+            let counter = obs.registry.counter(name);
+            // Every koshad counter doubles as a flight-recorder source,
+            // so samplers capture its evolution (rates, not just totals).
+            obs.recorder.watch_counter(name, &counter);
+            counter
+        };
         KoshaStats {
             fs_ops: c("kosha_fs_ops_total"),
             failovers: c("kosha_failovers_total"),

@@ -64,14 +64,24 @@ pub(crate) struct WritebackState {
 
 impl WritebackState {
     pub(crate) fn new(obs: &Obs) -> Self {
-        WritebackState {
+        let s = WritebackState {
             queues: Mutex::new(HashMap::new()),
             depth: obs.registry.gauge("kosha_writeback_queue_depth"),
             flush_batch: obs.registry.histogram("kosha_writeback_flush_batch_size"),
             flush_latency: obs
                 .registry
                 .histogram("kosha_writeback_flush_latency_nanos"),
-        }
+        };
+        // Flight-recorder series: queue depth over time is the signal
+        // the churn-soak analysis watches for writeback falling behind.
+        obs.recorder
+            .watch_gauge("kosha_writeback_queue_depth", &s.depth);
+        obs.recorder.watch_histogram_pct(
+            "kosha_writeback_flush_latency_nanos:p99",
+            &s.flush_latency,
+            99,
+        );
+        s
     }
 }
 

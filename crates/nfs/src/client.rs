@@ -24,8 +24,12 @@ impl ProcMetrics {
             latency: NfsRequest::PROC_NAMES
                 .iter()
                 .map(|p| {
-                    obs.registry
-                        .histogram(&format!("nfs_client_latency_nanos{{proc=\"{p}\"}}"))
+                    let name = format!("nfs_client_latency_nanos{{proc=\"{p}\"}}");
+                    let h = obs.registry.histogram(&name);
+                    // Tail latency per procedure as a recorder series.
+                    obs.recorder
+                        .watch_histogram_pct(&format!("{name}:p99"), &h, 99);
+                    h
                 })
                 .collect(),
             errors: obs.registry.counter("nfs_client_rpc_errors_total"),

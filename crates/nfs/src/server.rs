@@ -86,11 +86,15 @@ impl NfsServer {
         obs: &Arc<Obs>,
         addr: NodeAddr,
     ) -> Arc<Self> {
-        let ops = NfsRequest::PROC_NAMES
+        let ops: Vec<_> = NfsRequest::PROC_NAMES
             .iter()
             .map(|p| {
-                obs.registry
-                    .counter(&format!("nfs_server_ops_total{{proc=\"{p}\"}}"))
+                let name = format!("nfs_server_ops_total{{proc=\"{p}\"}}");
+                let c = obs.registry.counter(&name);
+                // Per-procedure rates become flight-recorder series so a
+                // sampler can show how the mix evolves, not just totals.
+                obs.recorder.watch_counter(&name, &c);
+                c
             })
             .collect();
         Arc::new(NfsServer {

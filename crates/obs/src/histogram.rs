@@ -250,6 +250,47 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.summary(), (0, 0, 0, 0));
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(12_345);
+        // With one sample every quantile is that sample; the max clamp
+        // makes the estimate exact despite ~6% bucket width.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q={q}");
+        }
+        assert_eq!(h.summary(), (12_345, 12_345, 12_345, 12_345));
+    }
+
+    #[test]
+    fn saturating_max_bucket_holds_u64_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        // The top bucket's wrapped upper bound is u64::MAX — quantiles
+        // neither overflow nor under-report the extreme samples.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.99), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantile below the extremes still resolves the small sample.
+        assert_eq!(h.quantile(0.01), 1);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(7.5), u64::MAX);
+        assert_eq!(h.quantile(-1.0), 1);
+    }
+
+    #[test]
     fn merge_is_lossless() {
         let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
         for v in [3u64, 99, 12_345, 1 << 40] {

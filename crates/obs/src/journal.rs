@@ -176,6 +176,24 @@ mod tests {
     }
 
     #[test]
+    fn of_kind_after_wraparound_sees_only_retained_events() {
+        let j = Journal::new(4);
+        for i in 0..10u64 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            j.record(i, 1, kind, i, format!("e{i}"));
+        }
+        // Capacity 4 → only i = 6..=9 survive the wrap.
+        assert_eq!(j.dropped(), 6);
+        let even = j.of_kind("even");
+        assert_eq!(even.len(), 2);
+        assert_eq!(even[0].t_nanos, 6);
+        assert_eq!(even[1].t_nanos, 8);
+        let odd: Vec<u64> = j.of_kind("odd").iter().map(|e| e.seq).collect();
+        assert_eq!(odd, vec![8, 10]);
+        assert!(j.of_kind("gone").is_empty());
+    }
+
+    #[test]
     fn kind_filter_and_render() {
         let j = Journal::new(10);
         j.record(5, 2, "failover", 1, "n3 dead");

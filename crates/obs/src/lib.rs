@@ -31,11 +31,13 @@
 
 pub mod histogram;
 pub mod journal;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
 pub use histogram::Histogram;
 pub use journal::{Event, Journal};
+pub use recorder::{HeatEntry, ReadHeat, Recorder, Series};
 pub use registry::{Counter, Gauge, Registry};
 pub use trace::{SpanContext, SpanRecord, Tracer};
 
@@ -53,6 +55,8 @@ pub struct Obs {
     pub journal: Journal,
     /// Causal-trace span buffer (see [`trace`]).
     pub tracer: Tracer,
+    /// Flight-recorder time-series store (see [`recorder`]).
+    pub recorder: Recorder,
     next_op: AtomicU64,
 }
 
@@ -76,6 +80,7 @@ impl Obs {
             registry: Registry::new(),
             journal: Journal::new(capacity),
             tracer: Tracer::default(),
+            recorder: Recorder::default(),
             next_op: AtomicU64::new(1),
         }
     }
@@ -84,6 +89,26 @@ impl Obs {
     /// belonging to one logical operation across layers).
     pub fn next_op_id(&self) -> u64 {
         self.next_op.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Self-observability: publishes this domain's own telemetry-loss
+    /// counters as registry gauges, so silent drops (journal ring full,
+    /// tracer buffer full, recorder series budget exhausted) are visible
+    /// through the same exposition as everything else. Called on each
+    /// sampler tick; cheap (four atomic loads, four atomic stores).
+    pub fn export_self_gauges(&self) {
+        self.registry
+            .gauge("kosha_obs_journal_dropped_total")
+            .set(self.journal.dropped() as i64);
+        self.registry
+            .gauge("kosha_obs_trace_dropped_total")
+            .set(self.tracer.dropped() as i64);
+        self.registry
+            .gauge("kosha_obs_recorder_dropped_total")
+            .set(self.recorder.dropped() as i64);
+        self.registry
+            .gauge("kosha_obs_recorder_downsamples_total")
+            .set(self.recorder.downsamples() as i64);
     }
 }
 
@@ -97,6 +122,30 @@ mod tests {
         let a = obs.next_op_id();
         let b = obs.next_op_id();
         assert!(b > a);
+    }
+
+    #[test]
+    fn self_gauges_expose_telemetry_loss() {
+        let obs = Obs::with_journal_capacity(2);
+        obs.journal.record(0, 1, "k", 1, "a");
+        obs.journal.record(1, 1, "k", 2, "b");
+        obs.journal.record(2, 1, "k", 3, "c"); // ring full → one drop
+        obs.export_self_gauges();
+        assert_eq!(
+            obs.registry.gauge("kosha_obs_journal_dropped_total").get(),
+            1
+        );
+        assert_eq!(obs.registry.gauge("kosha_obs_trace_dropped_total").get(), 0);
+        assert_eq!(
+            obs.registry.gauge("kosha_obs_recorder_dropped_total").get(),
+            0
+        );
+        assert_eq!(
+            obs.registry
+                .gauge("kosha_obs_recorder_downsamples_total")
+                .get(),
+            0
+        );
     }
 
     #[test]

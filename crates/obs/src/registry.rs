@@ -70,6 +70,7 @@ enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -124,6 +125,15 @@ impl Registry {
         }
     }
 
+    /// Attaches help text to a base metric name, emitted as a `# HELP`
+    /// line by [`Registry::render`] (with exposition-format escaping).
+    pub fn describe(&self, base: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("registry help lock")
+            .insert(base.to_string(), help.to_string());
+    }
+
     /// Names of all registered metrics, sorted.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
@@ -154,6 +164,9 @@ impl Registry {
                 Metric::Histogram(_) => "summary",
             };
             if base != last_base {
+                if let Some(help) = self.help.lock().expect("registry help lock").get(base) {
+                    out.push_str(&format!("# HELP {base} {}\n", escape_help(help)));
+                }
                 out.push_str(&format!("# TYPE {base} {kind}\n"));
                 last_base = base.to_string();
             }
@@ -227,8 +240,75 @@ fn with_label(labels: &str, key: &str, value: &str) -> String {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed become `\\`, `\"`, `\n`.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text per the exposition format: backslash and
+/// line-feed become `\\` and `\n` (quotes are legal in help text).
+#[must_use]
+pub fn escape_help(h: &str) -> String {
+    h.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Undoes [`escape_label_value`] (for tests and scrape-side parsing).
+#[must_use]
+pub fn unescape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Builds a full metric key `base{k="v",...}` with label values escaped
+/// per the exposition format. Callers with untrusted label values (file
+/// paths, peer names) must use this instead of hand-formatting.
+#[must_use]
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::from(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 fn escape_json(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+        .replace('\t', "\\t")
 }
 
 #[cfg(test)]
@@ -273,6 +353,58 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("rpc_nanos_count{service=\"nfs\"} 1"));
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_exposition() {
+        let hostile = "pa\\th\"with\nnewline";
+        let name = labeled("kosha_heat", &[("path", hostile)]);
+        let r = Registry::new();
+        r.counter(&name).add(7);
+        let text = r.render();
+        // The rendered sample line carries the escaped value and stays on
+        // one physical line (no raw newline leaks into the exposition).
+        let sample = text
+            .lines()
+            .find(|l| l.starts_with("kosha_heat{"))
+            .expect("sample line");
+        assert!(sample.contains("pa\\\\th\\\"with\\nnewline"), "{sample}");
+        assert_eq!(sample.matches('\n').count(), 0);
+        // Round trip: extracting and unescaping recovers the raw value.
+        let start = sample.find("path=\"").unwrap() + 6;
+        let end = sample.rfind("\"}").unwrap();
+        assert_eq!(unescape_label_value(&sample[start..end]), hostile);
+        // JSON stays parseable too: the key re-escapes onto one line.
+        let json = r.to_json();
+        let key_line = json
+            .lines()
+            .find(|l| l.contains("kosha_heat"))
+            .expect("json key");
+        assert!(key_line.trim_end().ends_with(": 7"), "{json}");
+    }
+
+    #[test]
+    fn help_text_is_emitted_and_escaped() {
+        let r = Registry::new();
+        r.counter("x_total").inc();
+        r.describe("x_total", "line one\nline two \\ backslash");
+        let text = r.render();
+        assert!(
+            text.contains("# HELP x_total line one\\nline two \\\\ backslash"),
+            "{text}"
+        );
+        let help_pos = text.find("# HELP x_total").unwrap();
+        let type_pos = text.find("# TYPE x_total").unwrap();
+        assert!(help_pos < type_pos);
+    }
+
+    #[test]
+    fn labeled_builds_plain_and_multi_label_names() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(
+            labeled("m", &[("a", "1"), ("b", "x\"y")]),
+            "m{a=\"1\",b=\"x\\\"y\"}"
+        );
     }
 
     #[test]

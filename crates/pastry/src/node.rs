@@ -4,7 +4,7 @@
 use crate::messages::{NodeInfo, PastryReply, PastryRequest};
 use crate::state::{LeafSet, RoutingTable};
 use kosha_id::Id;
-use kosha_obs::{Counter, Histogram, Obs};
+use kosha_obs::{Counter, Gauge, Histogram, Obs};
 use kosha_rpc::network::call_typed;
 use kosha_rpc::{Network, NodeAddr, RpcError, RpcHandler, RpcResponse, ServiceId};
 use parking_lot::{Mutex, RwLock};
@@ -143,16 +143,28 @@ struct OverlayMetrics {
     join_nanos: Arc<Histogram>,
     /// Leaf-set repairs triggered by observed failures.
     leaf_repairs: Arc<Counter>,
+    /// Current distinct leaf-set membership (`pastry_leaf_set_size`),
+    /// refreshed at every mutation site so churn is visible live and as
+    /// a flight-recorder series.
+    leaf_size: Arc<Gauge>,
 }
 
 impl OverlayMetrics {
     fn new(obs: &Obs) -> Self {
-        OverlayMetrics {
+        let m = OverlayMetrics {
             route_hops: obs.registry.histogram("pastry_route_hops"),
             route_failures: obs.registry.counter("pastry_route_failures_total"),
             join_nanos: obs.registry.histogram("pastry_join_nanos"),
             leaf_repairs: obs.registry.counter("pastry_leaf_repairs_total"),
-        }
+            leaf_size: obs.registry.gauge("pastry_leaf_set_size"),
+        };
+        // Flight-recorder sources: leaf-set size and route-hop median
+        // become time-series on every sampler tick.
+        obs.recorder
+            .watch_gauge("pastry_leaf_set_size", &m.leaf_size);
+        obs.recorder
+            .watch_histogram_pct("pastry_route_hops:p50", &m.route_hops, 50);
+        m
     }
 }
 
@@ -278,7 +290,11 @@ impl PastryNode {
                 return; // refuse to re-learn a suspected-dead address
             }
             st.rt.insert_with_rtt(node, rtt);
-            st.ls.insert(node)
+            let entered = st.ls.insert(node);
+            if entered {
+                self.metrics.leaf_size.set(st.ls.members().len() as i64);
+            }
+            entered
         };
         if entered_ls {
             // Snapshot before dispatch: observers run replication RPCs,
@@ -305,6 +321,9 @@ impl PastryNode {
             let removed = st.ls.remove_addr(addr);
             if !newly_dead && removed.is_empty() {
                 return; // already processed this failure
+            }
+            if !removed.is_empty() {
+                self.metrics.leaf_size.set(st.ls.members().len() as i64);
             }
             removed
         };

@@ -15,8 +15,16 @@
 //!
 //! Handles are resolved once at construction; the per-call path is a few
 //! relaxed atomic adds with no locking.
+//!
+//! The smoothed per-peer latency map is additionally published through
+//! the registry as `rpc_peer_latency_ewma_nanos{peer="nNNNNNN"}` gauges
+//! (addresses zero-padded so the registry's sorted render lists peers in
+//! address order), and the per-service inflight/latency/call series are
+//! registered with the domain's flight recorder so samplers can capture
+//! their evolution over time.
 
 use crate::network::{NodeAddr, ServiceId};
+use kosha_obs::registry::labeled;
 use kosha_obs::{Counter, Gauge, Histogram, Obs};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -52,6 +60,13 @@ impl Drop for InflightGuard {
     }
 }
 
+/// One peer's smoothed latency plus its registry gauge (created on the
+/// first sample, then updated in place with no registry lookup).
+struct PeerLat {
+    ewma: u64,
+    gauge: Arc<Gauge>,
+}
+
 /// All per-service handles plus the owning [`Obs`] domain.
 pub(crate) struct NetMetrics {
     obs: Arc<Obs>,
@@ -61,8 +76,8 @@ pub(crate) struct NetMetrics {
     /// Smoothed round-trip latency per destination (EWMA, α = 1/8 like
     /// TCP's SRTT), fed by every completed call. Backs
     /// [`crate::Network::peer_latency_nanos`] for latency-aware replica
-    /// selection.
-    peer_latency: RwLock<HashMap<u64, u64>>,
+    /// selection, and is mirrored into per-peer registry gauges.
+    peer_latency: RwLock<HashMap<u64, PeerLat>>,
 }
 
 impl NetMetrics {
@@ -95,28 +110,57 @@ impl NetMetrics {
             })
             .collect();
         let fanout_batch = obs.registry.histogram("rpc_fanout_batch_size");
-        NetMetrics {
+        let m = NetMetrics {
             obs,
             per_service,
             fanout_batch,
             peer_latency: RwLock::new(HashMap::new()),
+        };
+        // Arm the flight recorder: in-flight depth, attempt counters,
+        // and tail latency per service evolve into time-series on every
+        // sampler tick (no-ops until something calls `sample_all`).
+        let rec = &m.obs.recorder;
+        for s in ServiceId::ALL {
+            let svc = m.svc(s);
+            let l = s.name();
+            rec.watch_gauge(&labeled("rpc_inflight", &[("service", l)]), &svc.inflight);
+            rec.watch_counter(&labeled("rpc_calls_total", &[("service", l)]), &svc.calls);
+            rec.watch_histogram_pct(
+                &format!("{}:p99", labeled("rpc_latency_nanos", &[("service", l)])),
+                &svc.latency,
+                99,
+            );
         }
+        m
     }
 
-    /// Folds one completed round trip into the destination's EWMA.
+    /// Folds one completed round trip into the destination's EWMA and
+    /// mirrors the new estimate into the peer's registry gauge.
     pub fn note_peer_latency(&self, to: NodeAddr, nanos: u64) {
         let mut m = self.peer_latency.write();
         match m.get_mut(&to.0) {
-            Some(e) => *e = (*e * 7 + nanos) / 8,
+            Some(p) => {
+                p.ewma = (p.ewma * 7 + nanos) / 8;
+                p.gauge.set(p.ewma as i64);
+            }
             None => {
-                m.insert(to.0, nanos);
+                // Zero-padded address label: the registry renders in
+                // sorted name order, so padding makes that address order.
+                let name = labeled(
+                    "rpc_peer_latency_ewma_nanos",
+                    &[("peer", &format!("n{:06}", to.0))],
+                );
+                let gauge = self.obs.registry.gauge(&name);
+                gauge.set(nanos as i64);
+                self.obs.recorder.watch_gauge(&name, &gauge);
+                m.insert(to.0, PeerLat { ewma: nanos, gauge });
             }
         }
     }
 
     /// The destination's smoothed latency, if any traffic was observed.
     pub fn peer_latency(&self, to: NodeAddr) -> Option<u64> {
-        self.peer_latency.read().get(&to.0).copied()
+        self.peer_latency.read().get(&to.0).map(|p| p.ewma)
     }
 
     /// The observability domain (for exposition and tests).
@@ -192,6 +236,53 @@ mod tests {
         // One zero sample drags the estimate down by 1/8th.
         assert_eq!(m.peer_latency(to), Some(700));
         assert_eq!(m.peer_latency(NodeAddr(6)), None);
+    }
+
+    #[test]
+    fn peer_latency_is_exposed_as_sorted_gauges() {
+        let m = NetMetrics::new();
+        // Insert out of address order; the render must sort by address.
+        m.note_peer_latency(NodeAddr(20), 900);
+        m.note_peer_latency(NodeAddr(3), 500);
+        m.note_peer_latency(NodeAddr(100), 700);
+        m.note_peer_latency(NodeAddr(3), 500); // EWMA steady state
+        let reg = &m.obs().registry;
+        assert_eq!(
+            reg.gauge("rpc_peer_latency_ewma_nanos{peer=\"n000003\"}")
+                .get(),
+            500
+        );
+        let text = reg.render();
+        let pos: Vec<usize> = ["n000003", "n000020", "n000100"]
+            .iter()
+            .map(|p| text.find(&format!("peer=\"{p}\"")).expect("peer gauge"))
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2], "{text}");
+        // The EWMA is also a recorder source: one tick → one point.
+        m.obs().recorder.sample_all(42);
+        assert_eq!(
+            m.obs()
+                .recorder
+                .last("rpc_peer_latency_ewma_nanos{peer=\"n000020\"}"),
+            Some((42, 900))
+        );
+    }
+
+    #[test]
+    fn service_series_are_recorder_sources() {
+        let m = NetMetrics::new();
+        m.svc(ServiceId::Nfs).calls.inc();
+        m.obs().recorder.sample_all(7);
+        assert_eq!(
+            m.obs().recorder.last("rpc_calls_total{service=\"nfs\"}"),
+            Some((7, 1))
+        );
+        assert!(m
+            .obs()
+            .recorder
+            .series_names()
+            .iter()
+            .any(|n| n == "rpc_latency_nanos{service=\"nfs\"}:p99"));
     }
 
     #[test]

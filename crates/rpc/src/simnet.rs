@@ -289,6 +289,12 @@ impl SimNetwork {
         for h in &hooks {
             h.pump();
         }
+        // One flight-recorder tick for the transport's own domain, at
+        // the (deterministic) virtual time the pumps settled on. Node
+        // domains tick themselves via their sampler hooks above.
+        let obs = self.metrics.obs();
+        obs.export_self_gauges();
+        obs.recorder.sample_all(self.clock.now().0);
         hooks.len()
     }
 }

@@ -330,6 +330,11 @@ impl Network for ThreadedNetwork {
         let tick = interval
             .min(Duration::from_millis(20))
             .max(Duration::from_millis(1));
+        // The pump thread doubles as this transport's flight-recorder
+        // ticker (SimNetwork ticks in `run_pumps` instead); redundant
+        // ticks from multiple hooks just add same-valued points.
+        let obs = self.metrics.obs();
+        let clock = Arc::clone(&self.clock);
         let handle = std::thread::Builder::new()
             .name("writeback-pump".to_string())
             .spawn(move || {
@@ -348,6 +353,8 @@ impl Network for ThreadedNetwork {
                         Some(h) => h.pump(),
                         None => return,
                     }
+                    obs.export_self_gauges();
+                    obs.recorder.sample_all(clock.now().0);
                 }
             })
             .expect("spawn pump thread");
