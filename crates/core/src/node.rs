@@ -70,10 +70,12 @@ pub struct KoshaNode {
 }
 
 /// Per-node flight-recorder ticker. Registered as a transport pump hook:
-/// `SimNetwork` fires it inside `run_pumps()` (deterministic virtual
-/// time), `ThreadedNetwork` from its background pump thread. Each tick
-/// refreshes the self-observability gauges and snapshots every recorder
-/// source at the transport clock's current time.
+/// `SimNetwork` fires it through its event heap — one-shot per
+/// `run_pumps()` call, or as a recurring scheduler timer under
+/// `run_until`/`run_for` (deterministic virtual time either way) —
+/// while `ThreadedNetwork` ticks it from its shared timer thread. Each
+/// tick refreshes the self-observability gauges and snapshots every
+/// recorder source at the transport clock's current time.
 struct NodeSampler {
     obs: Arc<Obs>,
     clock: Arc<dyn kosha_rpc::Clock>,
@@ -177,16 +179,18 @@ impl KoshaNode {
         if let crate::config::ReplicationMode::WriteBehind { flush_interval, .. } =
             node.cfg.replication_mode
         {
-            // ThreadedNetwork drives the pump with a background thread;
-            // SimNetwork records the hook and leaves pumping to explicit
-            // `run_pumps()` calls so simulations stay deterministic.
+            // ThreadedNetwork drives the pump from its shared timer
+            // thread; SimNetwork records the hook in its event heap and
+            // leaves pumping to explicit `run_pumps()` / `run_for()`
+            // calls so simulations stay deterministic.
             let hook = Arc::downgrade(&node) as Weak<dyn kosha_rpc::PumpHook>;
             let _ = node.net.schedule_pump(hook, flush_interval);
         }
         // The sampler is always armed (every replication mode): under
-        // SimNetwork each `run_pumps()` call takes one flight-recorder
-        // snapshot per node; under ThreadedNetwork the pump thread ticks
-        // it on the sampling interval.
+        // SimNetwork each `run_pumps()` call (or `run_for` timer tick)
+        // takes one flight-recorder snapshot per node; under
+        // ThreadedNetwork the shared timer ticks it on the sampling
+        // interval.
         let _ = node.net.schedule_pump(
             Arc::downgrade(&sampler) as Weak<dyn kosha_rpc::PumpHook>,
             node.cfg.sample_interval,

@@ -6,7 +6,7 @@ use crate::state::{LeafSet, RoutingTable};
 use kosha_id::Id;
 use kosha_obs::{Counter, Gauge, Histogram, Obs};
 use kosha_rpc::network::call_typed;
-use kosha_rpc::{Network, NodeAddr, RpcError, RpcHandler, RpcResponse, ServiceId};
+use kosha_rpc::{Network, NodeAddr, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::Arc;
@@ -394,15 +394,36 @@ impl PastryNode {
     /// ones, then re-announces this node to its neighborhood. Called
     /// periodically by the hosting application (simulations call it after
     /// failure events).
+    ///
+    /// Both rounds are concurrent fan-outs (`call_many`): probing `l`
+    /// members costs one RPC round trip of modeled time rather than `l`,
+    /// which is what keeps periodic maintenance affordable at 10k-node
+    /// scale. Repairs triggered by `note_failed` run between the rounds,
+    /// so the announce round already sees the repaired leaf set.
     pub fn maintain(&self) {
-        for m in self.leaf_members() {
-            match self.rpc(m.addr, &PastryRequest::Ping) {
-                Ok(PastryReply::Pong { node }) if node.id == m.id => {}
-                _ => self.note_failed(m.addr),
+        let probed = self.leaf_members();
+        if !probed.is_empty() {
+            let ping = RpcRequest::new(ServiceId::Pastry, &PastryRequest::Ping);
+            let batch = probed.iter().map(|m| (m.addr, ping.clone())).collect();
+            let results = self.net.call_many(self.info.addr, batch);
+            for (m, result) in probed.into_iter().zip(results) {
+                match result.and_then(|resp| resp.decode::<PastryReply>()) {
+                    Ok(PastryReply::Pong { node }) if node.id == m.id => {}
+                    _ => self.note_failed(m.addr),
+                }
             }
         }
-        for m in self.leaf_members() {
-            let _ = self.rpc(m.addr, &PastryRequest::Announce { node: self.info });
+        let neighborhood = self.leaf_members();
+        if !neighborhood.is_empty() {
+            let announce = RpcRequest::new(
+                ServiceId::Pastry,
+                &PastryRequest::Announce { node: self.info },
+            );
+            let batch = neighborhood
+                .into_iter()
+                .map(|m| (m.addr, announce.clone()))
+                .collect();
+            let _ = self.net.call_many(self.info.addr, batch);
         }
     }
 
@@ -489,9 +510,20 @@ impl PastryNode {
                 }
             }
         }
-        // Announce ourselves to everyone we know.
-        for n in self.known_nodes() {
-            let _ = self.rpc(n.addr, &PastryRequest::Announce { node: self.info });
+        // Announce ourselves to everyone we know, as one concurrent
+        // fan-out: join cost stays one announce round trip no matter
+        // how many nodes the path taught us about.
+        let known = self.known_nodes();
+        if !known.is_empty() {
+            let announce = RpcRequest::new(
+                ServiceId::Pastry,
+                &PastryRequest::Announce { node: self.info },
+            );
+            let batch = known
+                .into_iter()
+                .map(|n| (n.addr, announce.clone()))
+                .collect();
+            let _ = self.net.call_many(self.info.addr, batch);
         }
         self.metrics.join_nanos.record(clock.now().since_nanos(t0));
         let op = self.obs.next_op_id();
@@ -499,11 +531,23 @@ impl PastryNode {
         Ok(())
     }
 
-    /// Gracefully leaves the overlay, notifying every known node.
+    /// Gracefully leaves the overlay, notifying every known node with
+    /// one concurrent `Depart` fan-out (replies are ignored — nodes
+    /// that miss the notice discover the departure via liveness probes).
     pub fn leave(&self) {
-        for n in self.known_nodes() {
-            let _ = self.rpc(n.addr, &PastryRequest::Depart { node: self.info });
+        let known = self.known_nodes();
+        if known.is_empty() {
+            return;
         }
+        let depart = RpcRequest::new(
+            ServiceId::Pastry,
+            &PastryRequest::Depart { node: self.info },
+        );
+        let batch = known
+            .into_iter()
+            .map(|n| (n.addr, depart.clone()))
+            .collect();
+        let _ = self.net.call_many(self.info.addr, batch);
     }
 
     // ---- routing ------------------------------------------------------

@@ -11,11 +11,14 @@
 //!   flows — nodes never share memory, matching the paper's
 //!   message-passing deployment,
 //! * [`SimNetwork`] — a deterministic in-process transport with a virtual
-//!   clock and a calibrated latency model (per-hop RTT, per-byte bandwidth,
-//!   per-operation server cost) plus failure injection, used by all
+//!   clock, a calibrated latency model (per-hop RTT, per-byte bandwidth,
+//!   per-operation server cost), failure injection, and an event-driven
+//!   core (a binary-heap [`sched::Scheduler`] drives message delivery,
+//!   pump ticks, and timer wakeups in O(log n) per event), used by all
 //!   experiments, and
-//! * [`ThreadedNetwork`] — a real concurrent transport (one mailbox thread
-//!   per node, crossbeam channels) used by concurrency integration tests.
+//! * [`ThreadedNetwork`] — a real concurrent transport (reactor + fixed
+//!   worker pool, continuation-style [`Network::call_async`] dispatch)
+//!   used by concurrency integration tests and scale smoke runs.
 //!
 //! Handlers are registered per [`ServiceId`] (Pastry, NFS, Kosha control),
 //! mirroring the two-level messaging of the prototype: "node lookup and
@@ -30,15 +33,17 @@ pub mod clock;
 mod lockcheck_gate;
 mod metrics;
 pub mod network;
+pub mod sched;
 pub mod simnet;
 pub mod threadnet;
 pub mod wire;
 
 pub use clock::{Clock, SimTime, VirtualClock, WallClock};
 pub use network::{
-    Network, NodeAddr, PumpHook, RpcError, RpcHandler, RpcRequest, RpcResponse, ServiceId,
-    ServiceMux, TraceHeader,
+    CallCompletion, Network, NodeAddr, PumpHook, RpcError, RpcHandler, RpcRequest, RpcResponse,
+    ServiceId, ServiceMux, TraceHeader,
 };
+pub use sched::{heap_comparisons, Scheduler};
 pub use simnet::{LatencyModel, NetStats, SimNetwork};
 pub use threadnet::ThreadedNetwork;
 pub use wire::{Reader, WireError, WireRead, WireWrite, Writer};

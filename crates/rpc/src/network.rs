@@ -405,12 +405,71 @@ pub trait PumpHook: Send + Sync {
     fn pump(&self);
 }
 
+/// Completion handle for an RPC issued with [`Network::call_async`]:
+/// either an already-finished result (synchronous transports — under
+/// virtual time there is nothing to overlap with) or a deferred wait
+/// the caller redeems when it needs the response. Between issue and
+/// [`CallCompletion::wait`] the caller is free to issue more RPCs or do
+/// local work — continuation-style dispatch without a thread per call.
+pub struct CallCompletion {
+    inner: CompletionInner,
+}
+
+enum CompletionInner {
+    Ready(Result<RpcResponse, RpcError>),
+    Deferred(Box<dyn FnOnce() -> Result<RpcResponse, RpcError> + Send>),
+}
+
+impl CallCompletion {
+    /// A completion that already holds its result.
+    #[must_use]
+    pub fn ready(result: Result<RpcResponse, RpcError>) -> Self {
+        CallCompletion {
+            inner: CompletionInner::Ready(result),
+        }
+    }
+
+    /// A completion redeemed by running `wait` (which may block).
+    #[must_use]
+    pub fn deferred(wait: Box<dyn FnOnce() -> Result<RpcResponse, RpcError> + Send>) -> Self {
+        CallCompletion {
+            inner: CompletionInner::Deferred(wait),
+        }
+    }
+
+    /// True when the result is already available and `wait` cannot block.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(self.inner, CompletionInner::Ready(_))
+    }
+
+    /// Blocks until the RPC finishes (or times out at the transport's
+    /// configured deadline) and returns its result.
+    pub fn wait(self) -> Result<RpcResponse, RpcError> {
+        match self.inner {
+            CompletionInner::Ready(r) => r,
+            CompletionInner::Deferred(f) => f(),
+        }
+    }
+}
+
 /// A transport connecting nodes. Implementations: [`crate::SimNetwork`]
 /// (deterministic, virtual time) and [`crate::ThreadedNetwork`] (real
 /// threads).
 pub trait Network: Send + Sync {
     /// Performs a blocking RPC from `from` to `to`.
     fn call(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> Result<RpcResponse, RpcError>;
+
+    /// Issues an RPC without blocking, returning a [`CallCompletion`]
+    /// the caller redeems later. The default implementation is the
+    /// blocking call wrapped in an already-ready completion — correct
+    /// for synchronous transports ([`crate::SimNetwork`] resolves every
+    /// call under virtual time with nothing real to overlap). The
+    /// threaded transport overrides this with true reactor dispatch, so
+    /// a caller can put hundreds of RPCs in flight from one thread.
+    fn call_async(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> CallCompletion {
+        CallCompletion::ready(self.call(from, to, req))
+    }
 
     /// Performs a batch of RPCs issued concurrently from `from`,
     /// blocking until every one has completed. Results are returned in

@@ -17,12 +17,30 @@
 //! (blocking, serial) call path; nested RPCs issued by a handler accumulate
 //! naturally. Failure injection: a call to a failed node charges the
 //! configured timeout and returns [`RpcError::Unreachable`].
+//!
+//! **Event-driven core.** The clock no longer steps inline: every modeled
+//! cost becomes a waypoint event on a binary-heap
+//! [`Scheduler`](crate::sched::Scheduler) keyed by `(deadline, seq)`, and
+//! the transport advances time by draining due events in O(log n) each —
+//! message-delivery legs, pump ticks, and timer wakeups all interleave in
+//! deadline order. Determinism is preserved because ties break on the
+//! insertion sequence number. Two driving styles coexist:
+//!
+//! * Legacy [`SimNetwork::run_pumps`] fires every registered pump once at
+//!   the current instant (heap-routed, registration order via `seq`),
+//!   leaving the clock untouched — existing benches are byte-identical.
+//! * [`SimNetwork::run_until`] arms each pump as a *recurring* timer at
+//!   its registered interval and advances the clock to a target instant,
+//!   firing everything due on the way. This is the driver for
+//!   million-event churn/scale experiments; one-shot wakeups can be
+//!   planted with [`SimNetwork::schedule_after`].
 
 use crate::clock::{Clock, SimTime, VirtualClock};
 use crate::metrics::NetMetrics;
 use crate::network::{
     Network, NodeAddr, PumpHook, RpcError, RpcRequest, RpcResponse, ServiceMux, TraceHeader,
 };
+use crate::sched::Scheduler;
 use kosha_obs::{trace, Obs};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
@@ -136,6 +154,31 @@ struct Registered {
     mux: Arc<ServiceMux>,
 }
 
+/// Payload of one scheduler event.
+enum SimEvent {
+    /// A pure clock waypoint: the end of a modeled message-delivery leg
+    /// or failure timeout. Dispatching it only moves the clock.
+    Wakeup,
+    /// One `run_pumps()`-style tick of pump-table entry `i` (one-shot).
+    PumpOnce(usize),
+    /// A recurring tick of pump-table entry `i`, armed by
+    /// [`SimNetwork::run_until`]; reschedules itself at the entry's
+    /// interval while its hook is alive.
+    PumpTick(usize),
+    /// A one-shot timer callback planted via
+    /// [`SimNetwork::schedule_after`].
+    Timer(Box<dyn FnOnce() + Send>),
+}
+
+/// One registered pump hook plus its requested cadence.
+struct PumpEntry {
+    hook: Weak<dyn PumpHook>,
+    interval: Duration,
+    /// True while a recurring [`SimEvent::PumpTick`] for this entry is
+    /// in the heap (armed by `run_until`, disarmed when the hook dies).
+    armed: bool,
+}
+
 /// Deterministic in-process transport. See the module docs.
 ///
 /// ```
@@ -158,17 +201,24 @@ pub struct SimNetwork {
     coords: RwLock<HashMap<NodeAddr, (f64, f64)>>,
     stats: NetStats,
     metrics: NetMetrics,
+    /// The event heap driving all clock movement (see the module docs).
+    sched: Scheduler<SimEvent>,
     /// Pumps registered via [`Network::schedule_pump`]. The simulation
     /// never drives them spontaneously (that would break determinism);
-    /// tests and benches drain them explicitly with
-    /// [`SimNetwork::run_pumps`].
-    pumps: Mutex<Vec<Weak<dyn PumpHook>>>,
+    /// callers either drain them explicitly with
+    /// [`SimNetwork::run_pumps`] or arm them as recurring scheduler
+    /// timers via [`SimNetwork::run_until`]. Entries are never removed
+    /// (indices are baked into queued events); dead hooks simply stop
+    /// upgrading.
+    pumps: Mutex<Vec<PumpEntry>>,
 }
 
 impl SimNetwork {
     /// New network with the given latency model.
     #[must_use]
     pub fn new(model: LatencyModel) -> Arc<Self> {
+        let metrics = NetMetrics::new();
+        let sched = Scheduler::observed(&metrics.obs());
         let net = Arc::new(SimNetwork {
             clock: VirtualClock::new(),
             model,
@@ -176,7 +226,8 @@ impl SimNetwork {
             down: RwLock::new(HashSet::new()),
             coords: RwLock::new(HashMap::new()),
             stats: NetStats::default(),
-            metrics: NetMetrics::new(),
+            metrics,
+            sched,
             pumps: Mutex::new(Vec::new()),
         });
         #[cfg(feature = "lockcheck")]
@@ -278,24 +329,144 @@ impl SimNetwork {
 
     /// Runs every registered [`PumpHook`] once, at a deterministic point
     /// chosen by the caller — the simulation's replacement for the
-    /// background pump worker a real-time transport runs. Dead hooks
-    /// (owner dropped) are pruned. Returns how many hooks ran.
+    /// background pump worker a real-time transport runs. Each live hook
+    /// is scheduled as a one-shot event at the *current* instant and the
+    /// heap is drained, so firing order is `(deadline, seq)` — all
+    /// deadlines equal "now", ties broken by registration sequence — and
+    /// the clock does not move. Returns how many hooks ran.
     pub fn run_pumps(&self) -> usize {
-        let hooks: Vec<Arc<dyn PumpHook>> = {
-            let mut pumps = self.pumps.lock();
-            pumps.retain(|w| w.strong_count() > 0);
-            pumps.iter().filter_map(Weak::upgrade).collect()
+        let now = self.clock.now().0;
+        let live: Vec<usize> = {
+            let pumps = self.pumps.lock();
+            pumps
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.hook.strong_count() > 0)
+                .map(|(i, _)| i)
+                .collect()
         };
-        for h in &hooks {
-            h.pump();
+        for &i in &live {
+            self.sched.schedule_at(now, now, SimEvent::PumpOnce(i));
         }
+        self.dispatch_until(now);
         // One flight-recorder tick for the transport's own domain, at
         // the (deterministic) virtual time the pumps settled on. Node
         // domains tick themselves via their sampler hooks above.
         let obs = self.metrics.obs();
         obs.export_self_gauges();
         obs.recorder.sample_all(self.clock.now().0);
-        hooks.len()
+        live.len()
+    }
+
+    /// Advances virtual time to `target`, dispatching every due event in
+    /// `(deadline, seq)` order along the way. Registered pumps are armed
+    /// as *recurring* timers at their [`Network::schedule_pump`] interval
+    /// (first tick one interval from now), so a long `run_until` fires
+    /// them repeatedly at their cadence — the event-driven idle loop a
+    /// real deployment's background workers provide. Once armed, a pump
+    /// also fires when ordinary calls push the clock past its deadline,
+    /// which is exactly the interleaving a real transport exhibits.
+    pub fn run_until(&self, target: SimTime) {
+        let now = self.clock.now().0;
+        let to_arm: Vec<(usize, u64)> = {
+            let mut pumps = self.pumps.lock();
+            let mut arm = Vec::new();
+            for (i, p) in pumps.iter_mut().enumerate() {
+                if !p.armed && !p.interval.is_zero() && p.hook.strong_count() > 0 {
+                    p.armed = true;
+                    arm.push((i, now.saturating_add(p.interval.as_nanos() as u64)));
+                }
+            }
+            arm
+        };
+        for (i, deadline) in to_arm {
+            self.sched.schedule_at(deadline, now, SimEvent::PumpTick(i));
+        }
+        self.dispatch_until(target.0);
+    }
+
+    /// [`SimNetwork::run_until`], phrased as a span from the current
+    /// instant.
+    pub fn run_for(&self, d: Duration) {
+        self.run_until(self.clock.now().plus(d));
+    }
+
+    /// Plants a one-shot timer `after` from now. It fires (in deadline
+    /// order, interleaved with deliveries and pump ticks) during
+    /// whichever [`SimNetwork::run_until`] or RPC leg first pushes the
+    /// clock past its deadline.
+    pub fn schedule_after(&self, after: Duration, f: impl FnOnce() + Send + 'static) {
+        let now = self.clock.now().0;
+        self.sched.schedule_at(
+            now.saturating_add(after.as_nanos() as u64),
+            now,
+            SimEvent::Timer(Box::new(f)),
+        );
+    }
+
+    /// Advances the clock by `d` through the event heap: schedules a
+    /// waypoint at `now + d` and drains everything due before it. This
+    /// is the modeled-cost primitive every RPC leg charges through.
+    fn step(&self, d: Duration) {
+        let now = self.clock.now().0;
+        let target = now.saturating_add(d.as_nanos() as u64);
+        self.sched.schedule_at(target, now, SimEvent::Wakeup);
+        self.dispatch_until(target);
+    }
+
+    /// Pops and dispatches every event with `deadline <= target`, moving
+    /// the clock to each event's deadline (never backwards), then to
+    /// `target`. Re-entrant: handlers fired from events issue nested
+    /// calls that recurse into this loop; the heap lock is released
+    /// around every dispatch.
+    fn dispatch_until(&self, target: u64) {
+        while let Some((deadline, ev)) = self.sched.pop_due(target) {
+            if deadline > self.clock.now().0 {
+                self.clock.set(SimTime(deadline));
+            }
+            match ev {
+                SimEvent::Wakeup => {}
+                SimEvent::PumpOnce(i) => self.fire_pump(i, None),
+                SimEvent::PumpTick(i) => self.fire_pump(i, Some(deadline)),
+                SimEvent::Timer(f) => f(),
+            }
+        }
+        if target > self.clock.now().0 {
+            self.clock.set(SimTime(target));
+        }
+    }
+
+    /// Fires pump-table entry `i` if its hook is still alive. For
+    /// recurring ticks (`rearm_from = Some(deadline)`) the next tick is
+    /// scheduled one interval after the *deadline* (stable cadence even
+    /// when the pump itself advances the clock); a dead hook disarms the
+    /// entry instead.
+    fn fire_pump(&self, i: usize, rearm_from: Option<u64>) {
+        let (hook, interval) = {
+            let pumps = self.pumps.lock();
+            let Some(p) = pumps.get(i) else { return };
+            (p.hook.clone(), p.interval)
+        };
+        let alive = match hook.upgrade() {
+            Some(h) => {
+                h.pump();
+                true
+            }
+            None => false,
+        };
+        let Some(deadline) = rearm_from else { return };
+        if alive {
+            let next = deadline.saturating_add(interval.as_nanos() as u64);
+            self.sched
+                .schedule_at(next, self.clock.now().0, SimEvent::PumpTick(i));
+            // A recurring tick also refreshes the transport-domain
+            // recorder so long idle runs produce a time-series.
+            let obs = self.metrics.obs();
+            obs.export_self_gauges();
+            obs.recorder.sample_all(self.clock.now().0);
+        } else if let Some(p) = self.pumps.lock().get_mut(i) {
+            p.armed = false;
+        }
     }
 }
 
@@ -322,7 +493,7 @@ impl SimNetwork {
 
         let Some(mux) = mux else {
             self.stats.failed_calls.fetch_add(1, Ordering::Relaxed);
-            self.clock.advance(self.model.timeout);
+            self.step(self.model.timeout);
             svc.failed.inc();
             let elapsed = self.clock.now().since_nanos(start);
             svc.latency.record(elapsed);
@@ -335,7 +506,7 @@ impl SimNetwork {
         if from == to {
             self.stats.local_calls.fetch_add(1, Ordering::Relaxed);
             svc.local.inc();
-            self.clock.advance(self.model.loopback_cost);
+            self.step(self.model.loopback_cost);
             let result =
                 trace::with_context(req.trace.map(TraceHeader::ctx), || mux.dispatch(from, &req));
             if result.is_err() {
@@ -350,10 +521,10 @@ impl SimNetwork {
         let req_bytes = req.wire_size();
         let link = self.link_latency(from, to);
         // Charge request-direction costs before the handler runs so that
-        // nested calls see a clock that already includes delivery.
-        self.clock
-            .advance(link + self.model.transfer_time(req_bytes));
-        self.clock.advance(self.model.server_op_cost);
+        // nested calls see a clock that already includes delivery. The
+        // delivery leg is a heap waypoint: timers and armed pump ticks
+        // that come due before it fire first, in deadline order.
+        self.step(link + self.model.transfer_time(req_bytes) + self.model.server_op_cost);
         // Install the request's trace header as the handler's ambient
         // context: on this same-thread transport the caller's context is
         // usually already in scope, but stamping from the header keeps
@@ -364,8 +535,7 @@ impl SimNetwork {
             Ok(r) => r.wire_size(),
             Err(_) => 16,
         };
-        self.clock
-            .advance(link + self.model.transfer_time(resp_bytes));
+        self.step(link + self.model.transfer_time(resp_bytes));
         self.stats
             .bytes
             .fetch_add((req_bytes + resp_bytes) as u64, Ordering::Relaxed);
@@ -458,11 +628,16 @@ impl Network for SimNetwork {
         !self.down.read().contains(&addr) && self.nodes.read().contains_key(&addr)
     }
 
-    /// Records the hook for [`SimNetwork::run_pumps`] and returns
-    /// `false`: under virtual time the *caller* decides when pumping
-    /// happens, keeping runs deterministic.
-    fn schedule_pump(&self, hook: Weak<dyn PumpHook>, _interval: Duration) -> bool {
-        self.pumps.lock().push(hook);
+    /// Records the hook (and its interval, the recurring-timer cadence
+    /// [`SimNetwork::run_until`] arms) and returns `false`: under
+    /// virtual time the *caller* decides when pumping happens, keeping
+    /// runs deterministic.
+    fn schedule_pump(&self, hook: Weak<dyn PumpHook>, interval: Duration) -> bool {
+        self.pumps.lock().push(PumpEntry {
+            hook,
+            interval,
+            armed: false,
+        });
         false
     }
 

@@ -1,86 +1,370 @@
-//! Real-thread transport: one mailbox thread per (node, service).
+//! Real-thread transport: reactor + fixed worker pool.
 //!
 //! Used by the concurrency integration tests to exercise the same node
-//! logic as [`crate::SimNetwork`] but with genuine parallelism: each
-//! service of each node is served on a dedicated thread (as each daemon —
-//! nfsd, koshad, the overlay — runs as its own process on a real
-//! machine), callers block on a reply channel, and multiple clients drive
-//! the cluster concurrently. Delivery order between distinct callers is
-//! real scheduler order, which shakes out locking mistakes a
-//! deterministic simulation cannot.
+//! logic as [`crate::SimNetwork`] but with genuine parallelism. Earlier
+//! versions dedicated one mailbox thread to every `(node, service)`
+//! pair, which made thread count grow linearly with cluster size — a
+//! 10k-node cluster would try to spawn ~30k OS threads. This version is
+//! event-driven: requests are queued on per-`(node, service)` *actors*
+//! and a small fixed pool of reactor workers (`max(4, cores)`, capped
+//! at 64) drains whichever actors have work. Thread count is a function
+//! of the host, not the cluster.
 //!
-//! Deadlock discipline: because mailboxes are per *service*, nested calls
-//! may revisit a node as long as they target a different service — e.g.
-//! `client → koshad(A) → control(B) → nfsd(A)` is fine. What must not
-//! happen (and does not, in the Kosha protocols) is a same-service cycle
-//! such as `koshad(A) → … → koshad(A)`.
+//! Dispatch is continuation-style: [`ThreadedNetwork::call_async`]
+//! (via the [`Network`] trait) enqueues the request and returns a
+//! [`CallCompletion`](crate::network::CallCompletion) immediately;
+//! `call` is now a blocking shim that issues and waits. A single caller
+//! thread can therefore put hundreds of RPCs in flight at once.
+//!
+//! Actor discipline: each actor serves its queue FIFO and is held by at
+//! most one worker at a time, so requests to one `(node, service)`
+//! serialize exactly as they did behind the old per-service mailbox
+//! thread (each daemon — nfsd, koshad, the overlay — is one event loop
+//! on a real machine). Requests to *different* actors run on distinct
+//! workers and genuinely overlap.
+//!
+//! Deadlock discipline: handlers issue nested blocking RPCs while
+//! running on pool workers, so a fixed pool must not wedge when every
+//! worker is parked in a wait. Two rules prevent that:
+//!
+//! * A worker blocked in a completion wait *helps*, but only with the
+//!   actor its own reply depends on: if that actor is sitting runnable
+//!   on the run queue, the waiter pulls it and serves it in place.
+//!   Driving one's own dependency chain is deadlock-free (the chain
+//!   mirrors the nested-call chain, which the service discipline keeps
+//!   acyclic), so a fully blocked pool still makes progress. Helping
+//!   with *unrelated* actors would not be safe: the helped handler can
+//!   call back into an actor owned lower on the helper's own stack,
+//!   inverting the dependency into a wedge.
+//! * As before, nested calls may revisit a node only on a *different*
+//!   service — `client → koshad(A) → control(B) → nfsd(A)` is fine; a
+//!   same-service cycle such as `koshad(A) → … → koshad(A)` is not
+//!   (the actor is busy serving the outer request and the inner one
+//!   would wait on it forever, surfacing as a timeout).
+//!
+//! Periodic maintenance ([`PumpHook`]s) shares one `kosha-timer` thread
+//! for the whole transport instead of one thread per hook; it doubles
+//! as the flight-recorder sampling tick.
 
 use crate::clock::{Clock, WallClock};
-use crate::metrics::NetMetrics;
+use crate::metrics::{InflightGuard, NetMetrics};
 use crate::network::{
-    Network, NodeAddr, PumpHook, RpcError, RpcRequest, RpcResponse, ServiceId, ServiceMux,
-    TraceHeader,
+    CallCompletion, Network, NodeAddr, PumpHook, RpcError, RpcRequest, RpcResponse, ServiceId,
+    ServiceMux, TraceHeader,
 };
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use kosha_obs::{trace, Obs};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender, TryRecvError};
+use kosha_obs::{trace, Counter, Gauge, Histogram, Obs};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 type ReplyTx = Sender<Result<RpcResponse, RpcError>>;
 
-enum Mail {
-    Request {
-        from: NodeAddr,
-        req: RpcRequest,
-        reply: ReplyTx,
-    },
+/// One queued request awaiting dispatch on an actor.
+struct WorkItem {
+    from: NodeAddr,
+    req: RpcRequest,
+    reply: ReplyTx,
+    /// Transport-clock reading at enqueue, for the reactor's
+    /// dispatch-latency histogram.
+    enqueued_nanos: u64,
+}
+
+/// Mutable half of an actor: its FIFO request queue plus scheduling
+/// state. `running` is true while some worker owns the actor (it is
+/// either executing a request or queued on the run queue), which is
+/// what guarantees per-actor serialization.
+#[derive(Default)]
+struct ActorInner {
+    q: VecDeque<WorkItem>,
+    running: bool,
+    closed: bool,
+}
+
+/// One `(node, service)` endpoint: the handler plus its request queue.
+struct ServiceActor {
+    handler: Arc<dyn crate::network::RpcHandler>,
+    inner: Mutex<ActorInner>,
+}
+
+/// What a worker pulls off the run queue.
+enum RunItem {
+    Actor(Arc<ServiceActor>),
     Shutdown,
 }
 
-struct Mailbox {
-    tx: Sender<Mail>,
-    handle: Option<std::thread::JoinHandle<()>>,
+/// The reactor's MPMC run queue of runnable actors. Hand-rolled on
+/// `std` `Mutex`/`Condvar` because the vendored crossbeam shim's
+/// `Receiver` is single-consumer.
+struct RunQueue {
+    items: std::sync::Mutex<VecDeque<RunItem>>,
+    ready: std::sync::Condvar,
 }
 
-impl Mailbox {
-    fn stop(mut self) {
-        let _ = self.tx.send(Mail::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+impl RunQueue {
+    fn new() -> Self {
+        RunQueue {
+            items: std::sync::Mutex::new(VecDeque::new()),
+            ready: std::sync::Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: RunItem) {
+        if let Ok(mut q) = self.items.lock() {
+            q.push_back(item);
+        }
+        self.ready.notify_one();
+    }
+
+    /// Blocks until an item is available.
+    fn pop_wait(&self) -> RunItem {
+        let Ok(mut q) = self.items.lock() else {
+            return RunItem::Shutdown;
+        };
+        loop {
+            if let Some(item) = q.pop_front() {
+                return item;
+            }
+            q = match self.ready.wait(q) {
+                Ok(g) => g,
+                Err(_) => return RunItem::Shutdown,
+            };
+        }
+    }
+
+    /// Non-blocking removal of one *specific* runnable actor, used by
+    /// helping waiters: a blocked worker may only pull the actor its
+    /// own reply depends on (see the module docs — popping unrelated
+    /// actors can re-enter an actor owned lower on the helper's stack
+    /// and invert the dependency into a deadlock). `Shutdown` items are
+    /// left for real workers to consume.
+    fn try_pop_specific(&self, target: &Arc<ServiceActor>) -> Option<Arc<ServiceActor>> {
+        let mut q = self.items.lock().ok()?;
+        let pos = q
+            .iter()
+            .position(|item| matches!(item, RunItem::Actor(a) if Arc::ptr_eq(a, target)))?;
+        match q.remove(pos) {
+            Some(RunItem::Actor(a)) => Some(a),
+            _ => None,
         }
     }
 }
 
-/// Thread-per-(node, service) transport. Nodes are attached with their
-/// [`ServiceMux`]; dedicated threads serve each registered service until
-/// the network is dropped or the node is detached.
+/// State shared between the transport handle, its workers, and deferred
+/// completion waits: the run queue plus reactor self-observability.
+struct ReactorShared {
+    runq: RunQueue,
+    clock: Arc<WallClock>,
+    /// Requests dispatched to handlers (`kosha_reactor_events_total`).
+    events_total: Arc<Counter>,
+    /// Enqueue→dispatch sojourn per request, wall nanos.
+    dispatch_latency: Arc<Histogram>,
+    /// Requests currently queued across all actors.
+    queue_depth: Arc<Gauge>,
+}
+
+thread_local! {
+    /// Set once on each pool worker: which reactor it belongs to.
+    /// Completion waits consult this to decide whether they may help
+    /// drain the run queue (only on a worker of the *same* reactor —
+    /// helping across transports would run foreign handlers on this
+    /// pool and confuse both sides' accounting).
+    static WORKER_REACTOR: RefCell<Option<std::sync::Weak<ReactorShared>>> =
+        const { RefCell::new(None) };
+}
+
+/// The reactor shared-state of the current thread's pool, if this
+/// thread is a pool worker of `shared`'s reactor.
+fn helping_reactor(shared: &Arc<ReactorShared>) -> Option<Arc<ReactorShared>> {
+    WORKER_REACTOR
+        .with(|w| w.borrow().clone())
+        .and_then(|w| w.upgrade())
+        .filter(|s| Arc::ptr_eq(s, shared))
+}
+
+/// Serves one queued request of `actor`, then re-queues the actor if
+/// more work arrived meanwhile (one item per turn keeps the pool fair
+/// under load; FIFO order within the actor is preserved because only
+/// one worker owns it at a time).
+fn run_one(shared: &Arc<ReactorShared>, actor: Arc<ServiceActor>) {
+    let item = {
+        let mut inner = actor.inner.lock();
+        if inner.closed {
+            inner.q.clear();
+            inner.running = false;
+            return;
+        }
+        match inner.q.pop_front() {
+            Some(item) => item,
+            None => {
+                inner.running = false;
+                return;
+            }
+        }
+        // Lock released before dispatch: the handler may issue nested
+        // RPCs back into this transport (L001 discipline).
+    };
+    shared.queue_depth.add(-1);
+    shared.events_total.inc();
+    let now = shared.clock.now().0;
+    shared
+        .dispatch_latency
+        .record(now.saturating_sub(item.enqueued_nanos));
+    // Bridge the caller's trace onto this worker from the wire header.
+    let ctx = item.req.trace.map(TraceHeader::ctx);
+    let handler = Arc::clone(&actor.handler);
+    let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trace::with_context(ctx, || handler.handle(item.from, &item.req.body))
+    }))
+    .unwrap_or_else(|_| Err(RpcError::Remote("handler panicked".to_string())));
+    // The caller may have timed out; ignore send failure.
+    let _ = item.reply.send(resp);
+    let more = {
+        let mut inner = actor.inner.lock();
+        if inner.closed {
+            inner.q.clear();
+        }
+        if inner.q.is_empty() {
+            inner.running = false;
+            false
+        } else {
+            true
+        }
+    };
+    if more {
+        shared.runq.push(RunItem::Actor(actor));
+    }
+}
+
+/// Queues `item` on `actor`, scheduling the actor onto the run queue if
+/// it was idle. Returns `false` if the actor is closed (detached).
+fn enqueue(shared: &ReactorShared, actor: &Arc<ServiceActor>, item: WorkItem) -> bool {
+    let newly_runnable = {
+        let mut inner = actor.inner.lock();
+        if inner.closed {
+            return false;
+        }
+        inner.q.push_back(item);
+        if inner.running {
+            false
+        } else {
+            inner.running = true;
+            true
+        }
+    };
+    shared.queue_depth.add(1);
+    if newly_runnable {
+        shared.runq.push(RunItem::Actor(Arc::clone(actor)));
+    }
+    true
+}
+
+/// A periodic hook registration on the shared timer thread.
+struct TimerEntry {
+    hook: Weak<dyn PumpHook>,
+    interval: Duration,
+    since: Duration,
+}
+
+/// Reactor + fixed-worker-pool transport. Nodes are attached with their
+/// [`ServiceMux`]; attaching allocates per-service actors (no threads)
+/// served by the pool until the network is dropped or the node is
+/// detached.
 pub struct ThreadedNetwork {
     clock: Arc<WallClock>,
-    nodes: RwLock<HashMap<(NodeAddr, ServiceId), Mailbox>>,
+    shared: Arc<ReactorShared>,
+    actors: RwLock<HashMap<(NodeAddr, ServiceId), Arc<ServiceActor>>>,
     down: RwLock<HashSet<NodeAddr>>,
     /// How long callers wait for a reply before declaring the node dead.
     call_timeout: Duration,
-    metrics: NetMetrics,
-    /// Raised on drop; pump worker threads exit at their next tick.
+    metrics: Arc<NetMetrics>,
+    worker_count: usize,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Every OS thread this transport has ever spawned
+    /// (`kosha_reactor_threads_spawned_total`) — the sched bench uses it
+    /// to prove attach does not spawn.
+    threads_spawned: Arc<Counter>,
+    /// Raised on drop; the timer thread exits at its next tick.
     pump_stop: Arc<AtomicBool>,
-    pump_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    timers: Arc<Mutex<Vec<TimerEntry>>>,
+    timer_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Pool sizing: one worker per hardware thread, floored at 4 so nested
+/// blocking RPCs and small fan-outs overlap even on tiny hosts, capped
+/// at 64 (beyond that, contention on the run queue outweighs
+/// parallelism for RPC-sized work).
+fn worker_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .clamp(4, 64)
 }
 
 impl ThreadedNetwork {
-    /// New threaded network with the given caller-side timeout.
+    /// New threaded network with the given caller-side timeout. Spawns
+    /// the fixed worker pool immediately; nothing else ever spawns per
+    /// node.
     #[must_use]
     pub fn new(call_timeout: Duration) -> Arc<Self> {
+        let clock = WallClock::new();
+        let metrics = Arc::new(NetMetrics::new());
+        let obs = metrics.obs();
+        let events_total = obs.registry.counter("kosha_reactor_events_total");
+        let dispatch_latency = obs
+            .registry
+            .histogram("kosha_reactor_dispatch_latency_nanos");
+        let queue_depth = obs.registry.gauge("kosha_reactor_queue_depth");
+        let workers_gauge = obs.registry.gauge("kosha_reactor_workers");
+        let threads_spawned = obs.registry.counter("kosha_reactor_threads_spawned_total");
+        obs.recorder
+            .watch_gauge("kosha_reactor_queue_depth", &queue_depth);
+        obs.recorder
+            .watch_counter("kosha_reactor_events_total", &events_total);
+        obs.recorder.watch_histogram_pct(
+            "kosha_reactor_dispatch_latency_nanos:p99",
+            &dispatch_latency,
+            99,
+        );
+        let shared = Arc::new(ReactorShared {
+            runq: RunQueue::new(),
+            clock: Arc::clone(&clock),
+            events_total,
+            dispatch_latency,
+            queue_depth,
+        });
+        let worker_count = worker_pool_size();
+        workers_gauge.set(worker_count as i64);
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            threads_spawned.inc();
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("kosha-worker-{i}"))
+                .spawn(move || {
+                    WORKER_REACTOR.with(|w| *w.borrow_mut() = Some(Arc::downgrade(&shared)));
+                    while let RunItem::Actor(actor) = shared.runq.pop_wait() {
+                        run_one(&shared, actor);
+                    }
+                })
+                .expect("spawn reactor worker");
+            workers.push(handle);
+        }
         let net = Arc::new(ThreadedNetwork {
-            clock: WallClock::new(),
-            nodes: RwLock::new(HashMap::new()),
+            clock,
+            shared,
+            actors: RwLock::new(HashMap::new()),
             down: RwLock::new(HashSet::new()),
             call_timeout,
-            metrics: NetMetrics::new(),
+            metrics,
+            worker_count,
+            workers: Mutex::new(workers),
+            threads_spawned,
             pump_stop: Arc::new(AtomicBool::new(false)),
-            pump_threads: Mutex::new(Vec::new()),
+            timers: Arc::new(Mutex::new(Vec::new())),
+            timer_thread: Mutex::new(None),
         });
         #[cfg(feature = "lockcheck")]
         crate::lockcheck_gate::install_cycle_hook(Arc::downgrade(&net.metrics.obs()), {
@@ -91,72 +375,72 @@ impl ThreadedNetwork {
     }
 
     /// Transport-level observability: per-service call/byte counters and
-    /// latency histograms (`rpc_*{service=...}`), timestamped on the
-    /// monotonic wall clock.
+    /// latency histograms (`rpc_*{service=...}`) plus the reactor's own
+    /// `kosha_reactor_*` series, timestamped on the monotonic wall clock.
     #[must_use]
     pub fn obs(&self) -> Arc<Obs> {
         self.metrics.obs()
     }
 
-    /// Attaches a node, spawning one mailbox thread per registered
-    /// service (services registered after attach are not served —
-    /// register everything first, as [`ServiceMux`] users do).
+    /// Size of the fixed worker pool (constant for the transport's
+    /// lifetime, independent of how many nodes are attached).
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Total OS threads this transport has spawned so far (workers +
+    /// the shared timer). Attaching nodes never moves this.
+    #[must_use]
+    pub fn threads_spawned(&self) -> u64 {
+        self.threads_spawned.get()
+    }
+
+    /// Attaches a node, allocating one actor per registered service
+    /// (services registered after attach are not served — register
+    /// everything first, as [`ServiceMux`] users do). No threads are
+    /// spawned: the shared pool serves the new actors.
     pub fn attach(&self, addr: NodeAddr, mux: Arc<ServiceMux>) {
-        let mut old = Vec::new();
+        let mut replaced = Vec::new();
         for service in mux.services() {
             let Some(handler) = mux.handler(service) else {
                 continue;
             };
-            let (tx, rx): (Sender<Mail>, Receiver<Mail>) = unbounded();
-            let handle = std::thread::Builder::new()
-                .name(format!("{addr}-{service:?}"))
-                .spawn(move || {
-                    while let Ok(mail) = rx.recv() {
-                        match mail {
-                            Mail::Request { from, req, reply } => {
-                                // Bridge the caller's trace onto this
-                                // mailbox thread from the wire header.
-                                let ctx = req.trace.map(TraceHeader::ctx);
-                                let resp =
-                                    trace::with_context(ctx, || handler.handle(from, &req.body));
-                                // The caller may have timed out; ignore.
-                                let _ = reply.send(resp);
-                            }
-                            Mail::Shutdown => break,
-                        }
-                    }
-                })
-                .expect("spawn mailbox thread");
-            if let Some(prev) = self.nodes.write().insert(
-                (addr, service),
-                Mailbox {
-                    tx,
-                    handle: Some(handle),
-                },
-            ) {
-                old.push(prev);
+            let actor = Arc::new(ServiceActor {
+                handler,
+                inner: Mutex::new(ActorInner::default()),
+            });
+            if let Some(prev) = self.actors.write().insert((addr, service), actor) {
+                replaced.push(prev);
             }
         }
         self.down.write().remove(&addr);
-        for prev in old {
-            prev.stop();
+        for prev in replaced {
+            let mut inner = prev.inner.lock();
+            inner.closed = true;
+            // Dropping queued items drops their reply senders; waiters
+            // observe the disconnect as Unreachable.
+            inner.q.clear();
         }
     }
 
-    /// Detaches a node, stopping all of its mailbox threads.
+    /// Detaches a node, closing all of its actors. Requests already
+    /// queued are dropped (their callers observe `Unreachable`).
     pub fn detach(&self, addr: NodeAddr) {
-        let removed: Vec<Mailbox> = {
-            let mut nodes = self.nodes.write();
-            let keys: Vec<_> = nodes.keys().filter(|(a, _)| *a == addr).copied().collect();
-            keys.into_iter().filter_map(|k| nodes.remove(&k)).collect()
+        let removed: Vec<Arc<ServiceActor>> = {
+            let mut actors = self.actors.write();
+            let keys: Vec<_> = actors.keys().filter(|(a, _)| *a == addr).copied().collect();
+            keys.into_iter().filter_map(|k| actors.remove(&k)).collect()
         };
-        for mb in removed {
-            mb.stop();
+        for actor in removed {
+            let mut inner = actor.inner.lock();
+            inner.closed = true;
+            inner.q.clear();
         }
     }
 
-    /// Simulates a crash: the node stops answering (threads keep running,
-    /// state preserved, but calls are rejected at the transport).
+    /// Simulates a crash: the node stops answering (actors keep their
+    /// state, but calls are rejected at the transport).
     pub fn fail_node(&self, addr: NodeAddr) {
         self.down.write().insert(addr);
     }
@@ -165,82 +449,140 @@ impl ThreadedNetwork {
     pub fn recover_node(&self, addr: NodeAddr) {
         self.down.write().remove(&addr);
     }
-}
 
-impl Drop for ThreadedNetwork {
-    fn drop(&mut self) {
-        self.pump_stop.store(true, Ordering::SeqCst);
-        for h in self.pump_threads.lock().drain(..) {
-            let _ = h.join();
-        }
-        for (_, mb) in self.nodes.write().drain() {
-            mb.stop();
-        }
-    }
-}
-
-impl ThreadedNetwork {
-    /// The untraced call path (also the body of every traced call).
-    fn call_inner(
-        &self,
-        from: NodeAddr,
-        to: NodeAddr,
-        req: RpcRequest,
-    ) -> Result<RpcResponse, RpcError> {
-        let svc = self.metrics.svc(req.service);
+    /// The issue half of an RPC: validate the destination, enqueue on
+    /// its actor, and build the deferred completion that waits (with
+    /// helping), accounts the result, and returns it. `req.trace` must
+    /// already be stamped by the caller (`call`, `call_many`, or the
+    /// ambient-context shim in `call_async`).
+    fn issue(&self, from: NodeAddr, to: NodeAddr, req: RpcRequest) -> CallCompletion {
+        let service = req.service;
+        let svc = self.metrics.svc(service);
         svc.calls.inc();
-        let _inflight = crate::metrics::InflightGuard::enter(&svc.inflight);
-        let start = self.clock.now();
+        let inflight = InflightGuard::enter(&svc.inflight);
         if from == to {
             svc.local.inc();
         }
         if self.down.read().contains(&to) {
             svc.failed.inc();
-            return Err(RpcError::Unreachable(to));
+            return CallCompletion::ready(Err(RpcError::Unreachable(to)));
         }
-        let tx = match self.nodes.read().get(&(to, req.service)) {
-            Some(mb) => mb.tx.clone(),
+        let actor = match self.actors.read().get(&(to, service)) {
+            Some(a) => Arc::clone(a),
             None => {
                 svc.failed.inc();
                 // Distinguish "node exists but lacks the service" from a
                 // dead node, mirroring SimNetwork semantics.
-                let node_known = self.nodes.read().keys().any(|(a, _)| *a == to);
-                return Err(if node_known {
-                    RpcError::NoService(req.service)
+                let node_known = self.actors.read().keys().any(|(a, _)| *a == to);
+                return CallCompletion::ready(Err(if node_known {
+                    RpcError::NoService(service)
                 } else {
                     RpcError::Unreachable(to)
-                });
+                }));
             }
         };
         let req_bytes = req.wire_size();
+        let awaited = Arc::clone(&actor);
+        let start = self.clock.now();
         let (rtx, rrx) = bounded(1);
-        if tx
-            .send(Mail::Request {
-                from,
-                req,
-                reply: rtx,
-            })
-            .is_err()
-        {
-            svc.failed.inc();
-            return Err(RpcError::Unreachable(to));
-        }
-        let result = match rrx.recv_timeout(self.call_timeout) {
-            Ok(resp) => resp,
-            Err(_) => Err(RpcError::Unreachable(to)),
+        let item = WorkItem {
+            from,
+            req,
+            reply: rtx,
+            enqueued_nanos: start.0,
         };
-        match &result {
-            Ok(resp) => svc.bytes.add((req_bytes + resp.wire_size()) as u64),
-            Err(_) => svc.failed.inc(),
+        if !enqueue(&self.shared, &actor, item) {
+            svc.failed.inc();
+            return CallCompletion::ready(Err(RpcError::Unreachable(to)));
         }
-        let elapsed = self.clock.now().since_nanos(start);
-        svc.latency.record(elapsed);
-        self.metrics.note_peer_latency(to, elapsed);
-        result
+        let clock = Arc::clone(&self.clock);
+        let shared = Arc::clone(&self.shared);
+        let metrics = Arc::clone(&self.metrics);
+        let timeout = self.call_timeout;
+        CallCompletion::deferred(Box::new(move || {
+            // The call counts as in flight until its completion is
+            // redeemed (or abandoned: dropping the closure unredeemed
+            // drops the guard too).
+            let _inflight = inflight;
+            let deadline = start
+                .0
+                .saturating_add(timeout.as_nanos().min(u128::from(u64::MAX)) as u64);
+            let help = helping_reactor(&shared);
+            let result = loop {
+                match rrx.try_recv() {
+                    Ok(resp) => break resp,
+                    Err(TryRecvError::Disconnected) => break Err(RpcError::Unreachable(to)),
+                    Err(TryRecvError::Empty) => {}
+                }
+                let now = clock.now().0;
+                if now >= deadline {
+                    break Err(RpcError::Unreachable(to));
+                }
+                if let Some(reactor) = &help {
+                    // Pool worker blocked on a nested RPC: drive the
+                    // actor this reply depends on while waiting, so a
+                    // saturated pool cannot starve itself (see the
+                    // module docs' deadlock discipline).
+                    if let Some(target) = reactor.runq.try_pop_specific(&awaited) {
+                        run_one(reactor, target);
+                        continue;
+                    }
+                    match rrx.recv_timeout(Duration::from_micros(500)) {
+                        Ok(resp) => break resp,
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            break Err(RpcError::Unreachable(to))
+                        }
+                    }
+                } else {
+                    // Plain caller thread: park straight to the deadline.
+                    match rrx.recv_timeout(Duration::from_nanos(deadline - now)) {
+                        Ok(resp) => break resp,
+                        Err(RecvTimeoutError::Timeout) => break Err(RpcError::Unreachable(to)),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            break Err(RpcError::Unreachable(to))
+                        }
+                    }
+                }
+            };
+            let svc = metrics.svc(service);
+            match &result {
+                Ok(resp) => svc.bytes.add((req_bytes + resp.wire_size()) as u64),
+                Err(_) => svc.failed.inc(),
+            }
+            let elapsed = clock.now().since_nanos(start);
+            svc.latency.record(elapsed);
+            metrics.note_peer_latency(to, elapsed);
+            result
+        }))
+    }
+}
+
+impl Drop for ThreadedNetwork {
+    fn drop(&mut self) {
+        self.pump_stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.timer_thread.lock().take() {
+            let _ = h.join();
+        }
+        for _ in 0..self.worker_count {
+            self.shared.runq.push(RunItem::Shutdown);
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+        for (_, actor) in self.actors.write().drain() {
+            let mut inner = actor.inner.lock();
+            inner.closed = true;
+            inner.q.clear();
+        }
     }
 }
 
 impl Network for ThreadedNetwork {
+    /// Blocking shim over [`Network::call_async`]: when a trace is
+    /// active on this thread, the RPC is wrapped in a client span
+    /// (wall-clock timed) whose context is stamped into the wire header
+    /// so the serving worker can pick it up.
     fn call(
         &self,
         from: NodeAddr,
@@ -254,9 +596,6 @@ impl Network for ThreadedNetwork {
             from,
             "ThreadedNetwork::call",
         );
-        // When a trace is active on this thread, wrap the RPC in a
-        // client span (wall-clock timed) and stamp the child context
-        // into the wire header so the mailbox thread can pick it up.
         let span_name = req.service.rpc_span_name();
         self.metrics.tracer().child_with(
             || span_name.to_string(),
@@ -264,25 +603,39 @@ impl Network for ThreadedNetwork {
             || self.clock.now().0,
             |ctx| {
                 req.trace = ctx.map(TraceHeader::from_ctx);
-                self.call_inner(from, to, req)
+                self.issue(from, to, req).wait()
             },
         )
     }
 
-    /// Concurrent fan-out on real threads: one scoped worker per batch
-    /// entry, joined in order. Calls to distinct (node, service)
-    /// mailboxes genuinely overlap; calls that share a mailbox still
-    /// serialize behind its single thread, as on a real machine. The
-    /// caller's trace context is re-installed on each worker thread, so
-    /// traced fan-outs record parallel sibling spans.
+    /// Continuation-style dispatch: enqueue on the destination actor
+    /// and return immediately. If no span context has been stamped, the
+    /// ambient trace (if any) is propagated; callers that want a
+    /// per-call client span stamp one themselves (as `call` and
+    /// `call_many` do).
+    fn call_async(&self, from: NodeAddr, to: NodeAddr, mut req: RpcRequest) -> CallCompletion {
+        if req.trace.is_none() {
+            req.trace = trace::current().map(TraceHeader::from_ctx);
+        }
+        self.issue(from, to, req)
+    }
+
+    /// Concurrent fan-out without fan-out threads: every entry is
+    /// issued through `call_async` up front — putting the whole batch
+    /// in flight across the worker pool — then the completions are
+    /// redeemed in batch order. Calls to distinct `(node, service)`
+    /// actors genuinely overlap; calls sharing an actor still serialize
+    /// behind it, as on a real machine. Traced fan-outs record one
+    /// client span per entry (opened before issue, closed at
+    /// completion), so sibling spans overlap in the trace exactly as
+    /// the RPCs did on the wire.
     fn call_many(
         &self,
         from: NodeAddr,
         batch: Vec<(NodeAddr, RpcRequest)>,
     ) -> Vec<Result<RpcResponse, RpcError>> {
-        // The per-entry `call` below runs on fresh worker threads whose
-        // held-lock sets are empty; the *caller's* set must be checked
-        // here, before the fan-out blocks on the joins.
+        // The caller's held-lock set must be checked before the batch
+        // blocks on redemption.
         #[cfg(feature = "lockcheck")]
         crate::lockcheck_gate::rpc_gate(
             &self.metrics.obs(),
@@ -297,19 +650,28 @@ impl Network for ThreadedNetwork {
                 .map(|(to, req)| self.call(from, to, req))
                 .collect();
         }
-        let ctx = trace::current();
-        std::thread::scope(|s| {
-            let workers: Vec<_> = batch
-                .into_iter()
-                .map(|(to, req)| {
-                    s.spawn(move || trace::with_context(ctx, || self.call(from, to, req)))
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|w| w.join().expect("call_many worker panicked"))
-                .collect()
-        })
+        let tracer = self.metrics.tracer();
+        let issued: Vec<_> = batch
+            .into_iter()
+            .map(|(to, mut req)| {
+                let span = tracer.open_child(from.0, self.clock.now().0);
+                if let Some(s) = &span {
+                    req.trace = Some(TraceHeader::from_ctx(s.ctx()));
+                }
+                let name = req.service.rpc_span_name();
+                (span, name, self.call_async(from, to, req))
+            })
+            .collect();
+        issued
+            .into_iter()
+            .map(|(span, name, completion)| {
+                let result = completion.wait();
+                if let Some(s) = span {
+                    tracer.close(s, name, self.clock.now().0);
+                }
+                result
+            })
+            .collect()
     }
 
     fn clock(&self) -> Arc<dyn Clock> {
@@ -317,48 +679,70 @@ impl Network for ThreadedNetwork {
     }
 
     fn is_up(&self, addr: NodeAddr) -> bool {
-        !self.down.read().contains(&addr) && self.nodes.read().keys().any(|(a, _)| *a == addr)
+        !self.down.read().contains(&addr) && self.actors.read().keys().any(|(a, _)| *a == addr)
     }
 
-    /// Spawns a background worker that fires the hook every `interval`
-    /// until the network is dropped or the hook's owner goes away.
+    /// Registers the hook on the transport's shared timer thread
+    /// (spawned lazily on the first registration, never per hook).
     /// Returns `true`: on real threads the transport owns pump timing.
+    /// The timer doubles as this transport's flight-recorder ticker
+    /// (SimNetwork ticks in `run_pumps` instead).
     fn schedule_pump(&self, hook: Weak<dyn PumpHook>, interval: Duration) -> bool {
-        let stop = Arc::clone(&self.pump_stop);
-        // Poll the stop flag at least every 20ms so Drop never blocks
-        // behind a long flush interval.
-        let tick = interval
-            .min(Duration::from_millis(20))
-            .max(Duration::from_millis(1));
-        // The pump thread doubles as this transport's flight-recorder
-        // ticker (SimNetwork ticks in `run_pumps` instead); redundant
-        // ticks from multiple hooks just add same-valued points.
-        let obs = self.metrics.obs();
-        let clock = Arc::clone(&self.clock);
-        let handle = std::thread::Builder::new()
-            .name("writeback-pump".to_string())
-            .spawn(move || {
-                let mut since_pump = Duration::ZERO;
-                loop {
+        self.timers.lock().push(TimerEntry {
+            hook,
+            interval,
+            since: Duration::ZERO,
+        });
+        let mut timer = self.timer_thread.lock();
+        if timer.is_none() {
+            let stop = Arc::clone(&self.pump_stop);
+            let timers = Arc::clone(&self.timers);
+            let obs = self.metrics.obs();
+            let clock = Arc::clone(&self.clock);
+            self.threads_spawned.inc();
+            // Tick every 2ms so Drop never blocks behind a long flush
+            // interval and short test intervals still fire promptly.
+            let tick = Duration::from_millis(2);
+            let handle = std::thread::Builder::new()
+                .name("kosha-timer".to_string())
+                .spawn(move || loop {
                     if stop.load(Ordering::SeqCst) {
                         return;
                     }
                     std::thread::sleep(tick);
-                    since_pump += tick;
-                    if since_pump < interval {
+                    // Collect due hooks under the lock, fire them
+                    // outside it: pumps issue RPCs.
+                    let due: Vec<Arc<dyn PumpHook>> = {
+                        let mut entries = timers.lock();
+                        let mut fired = Vec::new();
+                        entries.retain_mut(|e| {
+                            e.since += tick;
+                            if e.since < e.interval {
+                                return true;
+                            }
+                            e.since = Duration::ZERO;
+                            match e.hook.upgrade() {
+                                Some(h) => {
+                                    fired.push(h);
+                                    true
+                                }
+                                None => false,
+                            }
+                        });
+                        fired
+                    };
+                    if due.is_empty() {
                         continue;
                     }
-                    since_pump = Duration::ZERO;
-                    match hook.upgrade() {
-                        Some(h) => h.pump(),
-                        None => return,
+                    for hook in due {
+                        hook.pump();
                     }
                     obs.export_self_gauges();
                     obs.recorder.sample_all(clock.now().0);
-                }
-            })
-            .expect("spawn pump thread");
-        self.pump_threads.lock().push(handle);
+                })
+                .expect("spawn timer thread");
+            *timer = Some(handle);
+        }
         true
     }
 
@@ -417,7 +801,9 @@ mod tests {
     #[test]
     fn cross_service_self_call_does_not_deadlock() {
         // A service that, while handling a request, calls a *different*
-        // service on the same node — the koshad loopback pattern.
+        // service on the same node — the koshad loopback pattern. The
+        // nested call runs from a pool worker, exercising the helping
+        // path when the pool is small.
         struct Outer {
             net: RwLock<Option<Arc<ThreadedNetwork>>>,
         }
@@ -464,7 +850,9 @@ mod tests {
         // Each target's handler blocks on a shared barrier sized to the
         // batch: the batch completes only if all three calls are in
         // flight at once. A serial implementation would stall the first
-        // call forever (surfacing as a timeout error here).
+        // call forever (surfacing as a timeout error here). Under the
+        // reactor this also proves distinct actors really run on
+        // distinct pool workers.
         struct Rendezvous(Arc<std::sync::Barrier>);
         impl RpcHandler for Rendezvous {
             fn handle(&self, _from: NodeAddr, _body: &[u8]) -> Result<RpcResponse, RpcError> {
@@ -555,7 +943,7 @@ mod tests {
             assert!(many.iter().all(|&t| t == tid));
             (single == tid, many.len())
         });
-        assert!(single, "mailbox thread must see the caller's trace");
+        assert!(single, "pool worker must see the caller's trace");
         assert_eq!(many, 3);
 
         // Root + one rpc:kosha + three rpc:replica client spans, on the
@@ -585,5 +973,72 @@ mod tests {
             ),
             Err(RpcError::NoService(ServiceId::Nfs))
         ));
+    }
+
+    #[test]
+    fn pool_is_fixed_while_1k_async_calls_complete() {
+        // ISSUE 7 satellite: worker-pool size stays fixed while 1k
+        // concurrent call_async RPCs complete, and attaching nodes
+        // spawns no threads.
+        let net = ThreadedNetwork::new(Duration::from_secs(10));
+        let pool = net.worker_threads();
+        let spawned_at_start = net.threads_spawned();
+        assert_eq!(spawned_at_start, pool as u64);
+
+        let served = Arc::new(AtomicU64::new(0));
+        struct Count(Arc<AtomicU64>);
+        impl RpcHandler for Count {
+            fn handle(&self, _from: NodeAddr, _body: &[u8]) -> Result<RpcResponse, RpcError> {
+                let n = self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(RpcResponse::new(&n))
+            }
+        }
+        for a in 0..50u64 {
+            let mux = Arc::new(ServiceMux::new());
+            mux.register(ServiceId::Kosha, Arc::new(Count(Arc::clone(&served))));
+            net.attach(NodeAddr(a), mux);
+        }
+        assert_eq!(net.threads_spawned(), spawned_at_start, "attach spawned");
+
+        let completions: Vec<_> = (0..1000u64)
+            .map(|i| net.call_async(NodeAddr(999), NodeAddr(i % 50), req()))
+            .collect();
+        for c in completions {
+            c.wait().unwrap();
+        }
+        assert_eq!(served.load(Ordering::SeqCst), 1000);
+        assert_eq!(net.worker_threads(), pool);
+        assert_eq!(net.threads_spawned(), spawned_at_start);
+    }
+
+    #[test]
+    fn panicking_handler_fails_one_call_not_the_pool() {
+        // A handler panic must surface as an RPC error to its caller
+        // and leave the shared pool serving everyone else.
+        struct Boom;
+        impl RpcHandler for Boom {
+            fn handle(&self, _from: NodeAddr, _body: &[u8]) -> Result<RpcResponse, RpcError> {
+                panic!("boom");
+            }
+        }
+        let net = ThreadedNetwork::new(Duration::from_secs(2));
+        let mux = Arc::new(ServiceMux::new());
+        mux.register(ServiceId::Kosha, Arc::new(Boom));
+        mux.register(ServiceId::Nfs, Arc::new(Counter(AtomicU64::new(0))));
+        net.attach(NodeAddr(1), mux);
+        assert!(matches!(
+            net.call(NodeAddr(2), NodeAddr(1), req()),
+            Err(RpcError::Remote(_))
+        ));
+        let ok = net.call(
+            NodeAddr(2),
+            NodeAddr(1),
+            RpcRequest {
+                service: ServiceId::Nfs,
+                trace: None,
+                body: Bytes::new(),
+            },
+        );
+        assert!(ok.is_ok());
     }
 }

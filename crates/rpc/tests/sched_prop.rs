@@ -1,0 +1,125 @@
+//! Property tests for the event-heap scheduler (ISSUE 7 determinism
+//! contract): pop order is exactly the stable `(deadline, seq)` sort of
+//! the insert sequence, and identical insert sequences drain to
+//! byte-identical event streams — the property the CI bench gates
+//! (double-run `diff` on `BENCH_*.json`) ultimately rest on.
+
+use kosha_rpc::{Clock, LatencyModel, Scheduler, SimNetwork, SimTime};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Drains a scheduler completely, rendering each event as bytes so two
+/// drains can be compared for *byte* identity, not just logical
+/// equality.
+fn drain_bytes(s: &Scheduler<u64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    while let Some((deadline, payload)) = s.pop_due(u64::MAX) {
+        out.extend_from_slice(&deadline.to_le_bytes());
+        out.extend_from_slice(&payload.to_le_bytes());
+    }
+    out
+}
+
+proptest! {
+    /// Pop order matches the stable sort of `(deadline, insertion seq)`
+    /// regardless of insert order, heap shape, or duplicate deadlines.
+    #[test]
+    fn pop_order_is_deadline_then_seq(deadlines in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let s: Scheduler<u64> = Scheduler::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            s.schedule_at(d, 0, i as u64);
+        }
+        let mut drained = Vec::new();
+        while let Some((d, i)) = s.pop_due(u64::MAX) {
+            drained.push((d, i));
+        }
+        let mut expected: Vec<(u64, u64)> = deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u64))
+            .collect();
+        // seq == insertion index, so a stable sort on deadline is the
+        // (deadline, seq) order.
+        expected.sort_by_key(|&(d, _)| d);
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Same inserts ⇒ byte-identical drain: two schedulers fed the same
+    /// sequence produce the same event stream down to the byte.
+    #[test]
+    fn identical_inserts_drain_byte_identically(
+        deadlines in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let a: Scheduler<u64> = Scheduler::new();
+        let b: Scheduler<u64> = Scheduler::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            a.schedule_at(d, 0, i as u64);
+            b.schedule_at(d, 0, i as u64);
+        }
+        prop_assert_eq!(drain_bytes(&a), drain_bytes(&b));
+    }
+
+    /// `pop_due` horizons partition the drain without reordering it:
+    /// draining in two phases split at an arbitrary horizon yields the
+    /// same stream as draining in one.
+    #[test]
+    fn horizon_split_preserves_order(
+        deadlines in proptest::collection::vec(any::<u64>(), 0..200),
+        split in any::<u64>(),
+    ) {
+        let whole: Scheduler<u64> = Scheduler::new();
+        let phased: Scheduler<u64> = Scheduler::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            whole.schedule_at(d, 0, i as u64);
+            phased.schedule_at(d, 0, i as u64);
+        }
+        let mut two_phase = Vec::new();
+        while let Some(ev) = phased.pop_due(split) {
+            two_phase.push(ev);
+        }
+        while let Some(ev) = phased.pop_due(u64::MAX) {
+            two_phase.push(ev);
+        }
+        let mut one_phase = Vec::new();
+        while let Some(ev) = whole.pop_due(u64::MAX) {
+            one_phase.push(ev);
+        }
+        prop_assert_eq!(two_phase, one_phase);
+    }
+}
+
+/// End-to-end through the transport: timers planted out of order fire
+/// in deadline order under `run_for`, and the virtual clock lands
+/// exactly on the run horizon.
+#[test]
+fn simnet_timers_fire_in_deadline_order() {
+    let net = SimNetwork::new(LatencyModel::zero());
+    let fired = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(AtomicUsize::new(0));
+    for (label, after_ms) in [
+        ("late", 30u64),
+        ("early", 10),
+        ("mid", 20),
+        ("early-tie", 10),
+    ] {
+        let fired = Arc::clone(&fired);
+        let order = Arc::clone(&order);
+        net.schedule_after(Duration::from_millis(after_ms), move || {
+            let n = order.fetch_add(1, Ordering::SeqCst);
+            fired.lock().push((n, label));
+        });
+    }
+    net.run_for(Duration::from_millis(25));
+    assert_eq!(
+        *fired.lock(),
+        vec![(0, "early"), (1, "early-tie"), (2, "mid")]
+    );
+    assert_eq!(net.virtual_clock().now(), SimTime(25_000_000));
+    // The horizon gated the last timer; a second run releases it.
+    net.run_for(Duration::from_millis(25));
+    assert_eq!(fired.lock().len(), 4);
+    assert_eq!(fired.lock()[3], (3, "late"));
+    assert_eq!(net.virtual_clock().now(), SimTime(50_000_000));
+}

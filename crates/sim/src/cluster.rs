@@ -77,6 +77,16 @@ impl SimCluster {
     pub fn clock(&self) -> Arc<VirtualClock> {
         self.net.virtual_clock()
     }
+
+    /// Runs the cluster's event loop for `d` of virtual time: every
+    /// registered pump (write-behind flushers, samplers) fires as a
+    /// recurring scheduler timer at its own interval, in deterministic
+    /// `(deadline, seq)` order, and the clock lands exactly `d` later.
+    /// The event-driven counterpart of calling
+    /// [`SimNetwork::run_pumps`] in a manual loop.
+    pub fn run_for(&self, d: std::time::Duration) {
+        self.net.run_for(d);
+    }
 }
 
 impl Drop for SimCluster {
