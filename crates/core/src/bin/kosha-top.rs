@@ -9,7 +9,10 @@
 //! identical output — CI diffs exactly that. Pass `--json` for the JSON
 //! snapshot instead of the text dashboard.
 
-use kosha::{cluster_flight, FlightOptions, KoshaConfig, KoshaMount, KoshaNode, ReplicationMode};
+use kosha::{
+    audit_cluster, cluster_flight, AuditOptions, FlightOptions, KoshaConfig, KoshaMount, KoshaNode,
+    ReplicationMode,
+};
 use kosha_id::node_id_from_seed;
 use kosha_rpc::{LatencyModel, Network, NodeAddr, SimNetwork};
 use std::sync::Arc;
@@ -78,12 +81,25 @@ fn main() {
     net.run_pumps();
 
     let refs: Vec<&KoshaNode> = nodes.iter().map(|n| n.as_ref()).collect();
-    let report = cluster_flight(
-        Some(&net.obs()),
-        &refs,
-        net.clock().now().0,
-        &FlightOptions::default(),
+    let now = net.clock().now().0;
+    let mut report = cluster_flight(Some(&net.obs()), &refs, now, &FlightOptions::default());
+
+    // Consistency-observatory pass: fan an AuditScan out to every node
+    // and attach the joined divergence report to the dashboard.
+    let peers: Vec<NodeAddr> = nodes.iter().map(|n| n.addr()).collect();
+    let mut audit = audit_cluster(
+        net.as_ref(),
+        NodeAddr(1),
+        &peers,
+        now,
+        &AuditOptions {
+            replicas: 2,
+            ..AuditOptions::default()
+        },
     );
+    audit.enrich_from_journals(&refs, now);
+    audit.publish(&net.obs());
+    report.attach_audit(audit);
     if json {
         print!("{}", report.to_json());
     } else {

@@ -105,6 +105,65 @@ impl WireRead for MigrateItem {
     }
 }
 
+/// One store or replica slot's consistency digest, as reported by
+/// [`KoshaRequest::AuditScan`]. The digest is a SHA-1 over the slot
+/// subtree's canonical serialization with Kosha-internal bookkeeping
+/// files (`.kosha_anchor`, `.kosha_lag`, `MIGRATION_NOT_COMPLETE`)
+/// excluded, so a primary copy and an up-to-date replica copy hash
+/// identically (see `kosha::audit::tree_digest`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Slot directory name (`@` + 16 hex of the anchor-path SHA-1).
+    pub slot: String,
+    /// Anchor virtual path, when the reporting node knows it (primaries
+    /// do; replica holders report `""` and the auditor joins on `slot`).
+    pub path: String,
+    /// False for a `/kosha_store` (primary) copy, true for a
+    /// `/kosha_replica` copy.
+    pub replica: bool,
+    /// Lower-case 40-hex SHA-1 of the canonical subtree serialization.
+    pub digest: String,
+    /// Payload bytes in the slot (file contents + symlink targets),
+    /// internal files excluded.
+    pub bytes: u64,
+    /// Objects in the slot (files, dirs, symlinks below the slot root),
+    /// internal files excluded.
+    pub files: u64,
+    /// A `.kosha_lag` marker is present: the copy is known to be behind
+    /// an unflushed write-behind window.
+    pub lag_marker: bool,
+    /// A `MIGRATION_NOT_COMPLETE` flag is present: the copy is mid-push
+    /// and expected to diverge until the bracket closes.
+    pub migrating: bool,
+}
+
+impl WireWrite for AuditEntry {
+    fn write(&self, w: &mut Writer) {
+        w.string(&self.slot);
+        w.string(&self.path);
+        w.boolean(self.replica);
+        w.string(&self.digest);
+        w.u64(self.bytes);
+        w.u64(self.files);
+        w.boolean(self.lag_marker);
+        w.boolean(self.migrating);
+    }
+}
+impl WireRead for AuditEntry {
+    fn read(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AuditEntry {
+            slot: r.string()?,
+            path: r.string()?,
+            replica: r.boolean()?,
+            digest: r.string()?,
+            bytes: r.u64()?,
+            files: r.u64()?,
+            lag_marker: r.boolean()?,
+            migrating: r.boolean()?,
+        })
+    }
+}
+
 /// Requests handled by a node's Kosha control service. Every path is a
 /// full virtual path (relative to `/kosha`, normalized).
 #[derive(Debug, Clone, PartialEq)]
@@ -303,6 +362,21 @@ pub enum KoshaRequest {
         /// Virtual path the barrier was issued against (journaled).
         path: String,
     },
+    /// Anti-entropy audit: digest every store and replica slot held by
+    /// the receiver and reply with one [`AuditEntry`] per slot. The
+    /// handler reads only local state (no nested RPCs), so the audit
+    /// pass can fan out to every node concurrently without risking call
+    /// cycles.
+    AuditScan,
+    /// Replica-slot garbage-collection probe: like `ReplicaTargets`, but
+    /// keyed by the replica-area slot name — holders know their slots,
+    /// not necessarily the anchor's virtual path. The owner replies with
+    /// the anchor's current replica holders, or `NoEnt` when it hosts no
+    /// anchor for `slot` (the holder then keeps its copy, conservatively).
+    ReplicaTargetsBySlot {
+        /// Slot directory name (`@` + 16 hex digits of the routing key).
+        slot: String,
+    },
 }
 
 impl KoshaRequest {
@@ -336,6 +410,8 @@ impl KoshaRequest {
             KoshaRequest::ReplicaApply { .. } => "replica_apply",
             KoshaRequest::ReplicaApplyBatch { .. } => "replica_apply_batch",
             KoshaRequest::Flush { .. } => "flush",
+            KoshaRequest::AuditScan => "audit_scan",
+            KoshaRequest::ReplicaTargetsBySlot { .. } => "replica_targets_by_slot",
         }
     }
 }
@@ -709,6 +785,11 @@ impl WireWrite for KoshaRequest {
                 w.u8(23);
                 w.string(path);
             }
+            KoshaRequest::AuditScan => w.u8(24),
+            KoshaRequest::ReplicaTargetsBySlot { slot } => {
+                w.u8(25);
+                w.string(slot);
+            }
         }
     }
 }
@@ -792,6 +873,8 @@ impl WireRead for KoshaRequest {
             21 => KoshaRequest::ReplicaApply { op: r.value()? },
             22 => KoshaRequest::ReplicaApplyBatch { ops: r.seq()? },
             23 => KoshaRequest::Flush { path: r.string()? },
+            24 => KoshaRequest::AuditScan,
+            25 => KoshaRequest::ReplicaTargetsBySlot { slot: r.string()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -827,6 +910,8 @@ pub enum KoshaReply {
     Anchors(Vec<(String, String)>),
     /// Node addresses (replica holders).
     Nodes(Vec<kosha_rpc::NodeAddr>),
+    /// Per-slot consistency digests (`AuditScan`), slot order.
+    Audit(Vec<AuditEntry>),
 }
 
 impl WireWrite for KoshaReply {
@@ -864,6 +949,10 @@ impl WireWrite for KoshaReply {
                 w.u8(5);
                 w.seq(v);
             }
+            KoshaReply::Audit(v) => {
+                w.u8(6);
+                w.seq(v);
+            }
         }
     }
 }
@@ -890,6 +979,7 @@ impl WireRead for KoshaReply {
                 KoshaReply::Anchors(v)
             }
             5 => KoshaReply::Nodes(r.seq()?),
+            6 => KoshaReply::Audit(r.seq()?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1022,6 +1112,9 @@ mod tests {
             },
             KoshaRequest::ListAnchors,
             KoshaRequest::ReplicaTargets { path: "/a".into() },
+            KoshaRequest::ReplicaTargetsBySlot {
+                slot: "@00c0ffee00c0ffee".into(),
+            },
             KoshaRequest::MigrateBatch {
                 path: "/a".into(),
                 items: vec![
@@ -1071,6 +1164,7 @@ mod tests {
             KoshaRequest::Flush {
                 path: "/a/f".into(),
             },
+            KoshaRequest::AuditScan,
         ];
         for req in reqs {
             let b = req.encode();
@@ -1092,6 +1186,28 @@ mod tests {
             KoshaReplyFrame(Ok(KoshaReply::Nodes(vec![
                 kosha_rpc::NodeAddr(3),
                 kosha_rpc::NodeAddr(9),
+            ]))),
+            KoshaReplyFrame(Ok(KoshaReply::Audit(vec![
+                AuditEntry {
+                    slot: "@00d4c05e3b0b08e1".into(),
+                    path: "/a".into(),
+                    replica: false,
+                    digest: "da39a3ee5e6b4b0d3255bfef95601890afd80709".into(),
+                    bytes: 4096,
+                    files: 12,
+                    lag_marker: false,
+                    migrating: false,
+                },
+                AuditEntry {
+                    slot: "@00d4c05e3b0b08e1".into(),
+                    path: String::new(),
+                    replica: true,
+                    digest: "b6589fc6ab0dc82cf12099d1c2d40ab994e8410c".into(),
+                    bytes: 4000,
+                    files: 11,
+                    lag_marker: true,
+                    migrating: true,
+                },
             ]))),
             KoshaReplyFrame(Err(NfsStatus::NoSpc)),
             KoshaReplyFrame(Err(NfsStatus::NotEmpty)),

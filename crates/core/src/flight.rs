@@ -10,6 +10,7 @@
 //! transport (SimNetwork with a fixed seed) both renderings are
 //! byte-identical across runs, which CI enforces.
 
+use crate::audit::AuditReport;
 use crate::node::KoshaNode;
 use kosha_obs::recorder::{load_skew_x1000, slo_burn_x1000};
 use kosha_obs::{HeatEntry, Obs};
@@ -92,6 +93,10 @@ pub struct FlightReport {
     pub total_series: usize,
     /// Worst-case recorder payload bytes across all domains.
     pub memory_ceiling_bytes: usize,
+    /// Anti-entropy audit results, when an audit pass was attached via
+    /// [`FlightReport::attach_audit`]. `None` keeps the report (and its
+    /// rendering) identical to pre-observatory output.
+    pub audit: Option<AuditReport>,
 }
 
 /// Sums every `nfs_server_ops_total{proc=...}` counter in a registry.
@@ -205,6 +210,7 @@ pub fn cluster_flight(
         telemetry_drops: drops,
         total_series,
         memory_ceiling_bytes: mem,
+        audit: None,
     }
 }
 
@@ -214,6 +220,13 @@ fn fmt_milli(v: u64) -> String {
 }
 
 impl FlightReport {
+    /// Attaches the result of an [`crate::audit_cluster`] pass taken at
+    /// (roughly) the same instant; `render` and `to_json` then include
+    /// the consistency-observatory panel.
+    pub fn attach_audit(&mut self, audit: AuditReport) {
+        self.audit = Some(audit);
+    }
+
     /// The `kosha-top` text dashboard. Deterministic given deterministic
     /// inputs: fixed column set, address-sorted rows, integer math only.
     #[must_use]
@@ -277,6 +290,10 @@ impl FlightReport {
             self.total_series,
             self.memory_ceiling_bytes,
         ));
+        if let Some(audit) = &self.audit {
+            out.push('\n');
+            out.push_str(&audit.render());
+        }
         out
     }
 
@@ -333,14 +350,18 @@ impl FlightReport {
         out.push_str(&format!(
             "  \"telemetry\": {{\"journal_drops\": {}, \"trace_drops\": {}, \
              \"recorder_drops\": {}, \"downsamples\": {}, \"series\": {}, \
-             \"memory_ceiling_bytes\": {}}}\n",
+             \"memory_ceiling_bytes\": {}}}{}\n",
             self.telemetry_drops.0,
             self.telemetry_drops.1,
             self.telemetry_drops.2,
             self.telemetry_drops.3,
             self.total_series,
             self.memory_ceiling_bytes,
+            if self.audit.is_some() { "," } else { "" },
         ));
+        if let Some(audit) = &self.audit {
+            out.push_str(&format!("  \"audit\": {}\n", audit.to_json()));
+        }
         out.push_str("}\n");
         out
     }
@@ -411,6 +432,35 @@ mod tests {
         // distribution, so skew is finite and gini is below 1.
         let report_line = text1.lines().nth(1).unwrap().to_string();
         assert!(report_line.contains("load skew"), "{report_line}");
+    }
+
+    #[test]
+    fn flight_report_includes_audit_panel_when_attached() {
+        let (net, nodes) = build_cluster(3);
+        let mount = KoshaMount::new(net.clone() as _, NodeAddr(1), NodeAddr(1)).expect("mount");
+        mount.mkdir_p("/proj").expect("mkdir");
+        mount.write_file("/proj/f", b"audited").expect("write");
+        net.run_pumps();
+        let refs: Vec<&KoshaNode> = nodes.iter().map(|n| n.as_ref()).collect();
+        let now = net.clock().now().0;
+        let mut report = cluster_flight(Some(&net.obs()), &refs, now, &FlightOptions::default());
+        let plain = report.to_json();
+        assert!(!plain.contains("\"audit\""), "audit absent until attached");
+
+        let peers: Vec<NodeAddr> = nodes.iter().map(|n| n.addr()).collect();
+        let audit = crate::audit::audit_cluster(
+            net.as_ref(),
+            NodeAddr(1),
+            &peers,
+            now,
+            &crate::audit::AuditOptions::default(),
+        );
+        report.attach_audit(audit);
+        let text = report.render();
+        assert!(text.contains("AUDIT  t="), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"audit\": {\"t_nanos\""), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
     }
 
     #[test]

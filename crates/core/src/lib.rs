@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod control;
 pub mod flight;
@@ -54,6 +55,7 @@ pub mod resolve;
 pub mod stats;
 pub mod writeback;
 
+pub use audit::{audit_cluster, slot_summary, tree_digest, AuditOptions, AuditReport, SlotSummary};
 pub use config::{KoshaConfig, ReplicationMode};
 pub use flight::{cluster_flight, FlightOptions, FlightReport, NodeRow};
 pub use mount::KoshaMount;

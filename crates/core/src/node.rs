@@ -79,10 +79,19 @@ pub struct KoshaNode {
 struct NodeSampler {
     obs: Arc<Obs>,
     clock: Arc<dyn kosha_rpc::Clock>,
+    /// Back-reference to the owning node, filled in right after the node
+    /// is built (the sampler must exist first — the node owns it). Weak,
+    /// so the sampler never keeps a dropped node alive.
+    node: Mutex<Weak<KoshaNode>>,
 }
 
 impl kosha_rpc::PumpHook for NodeSampler {
     fn pump(&self) {
+        if let Some(node) = self.node.lock().upgrade() {
+            // Scan-based, self-healing census of outstanding `.kosha_lag`
+            // markers (the consistency observatory's per-node gauge).
+            node.refresh_lag_marker_gauge();
+        }
         self.obs.export_self_gauges();
         self.obs.recorder.sample_all(self.clock.now().0);
     }
@@ -152,7 +161,13 @@ impl KoshaNode {
         let sampler = Arc::new(NodeSampler {
             obs: Arc::clone(&obs),
             clock: net.clock(),
+            node: Mutex::new(Weak::new()),
         });
+        // The lag-marker gauge doubles as a flight-recorder series so
+        // churn analysis can plot outstanding write-behind windows.
+        let lag_gauge = obs.registry.gauge("kosha_replica_lag_markers");
+        obs.recorder
+            .watch_gauge("kosha_replica_lag_markers", &lag_gauge);
         let node = Arc::new(KoshaNode {
             info: pastry.info(),
             nfs: NfsClient::new(Arc::clone(&net), addr).observed(&obs),
@@ -175,6 +190,7 @@ impl KoshaNode {
             }),
             anchors: Mutex::new(BTreeMap::new()),
         });
+        *sampler.node.lock() = Arc::downgrade(&node);
         pastry.add_observer(Arc::new(LeafWatcher(Arc::downgrade(&node))));
         if let crate::config::ReplicationMode::WriteBehind { flush_interval, .. } =
             node.cfg.replication_mode
@@ -246,13 +262,15 @@ impl KoshaNode {
         self.store.with_store(f)
     }
 
-    /// Runs periodic maintenance: overlay liveness probes plus replica
-    /// refresh for every hosted anchor. Simulations call this after
-    /// failure events, standing in for the paper's background daemon
-    /// activity.
+    /// Runs periodic maintenance: overlay liveness probes, replica
+    /// refresh for every hosted anchor, and garbage collection of
+    /// replica slots whose owner no longer counts us as a target.
+    /// Simulations call this after failure events, standing in for the
+    /// paper's background daemon activity.
     pub fn maintain(&self) {
         self.pastry.maintain();
         self.on_leaf_change(None);
+        self.gc_replica_slots();
     }
 
     /// Point-in-time operational counters for this koshad.

@@ -861,6 +861,84 @@ impl KoshaNode {
         }
     }
 
+    /// Garbage-collects stale replica slots: for every slot in the
+    /// replica area, asks the anchor's current owner whether this node
+    /// is still one of its replica targets, and drops the copy only on a
+    /// positive "no". Leaf-set churn silently shrinks an anchor's target
+    /// set, and [`Self::ensure_replicas`] only refreshes *current*
+    /// targets — an ex-holder's copy would otherwise diverge forever and
+    /// show up as over-replication in every audit. Conservative on every
+    /// uncertain answer (owner unreachable, `NoEnt`, missing anchor
+    /// meta): a stale copy is an audit nuisance, a wrongly dropped one
+    /// is data loss. Returns the number of slots dropped. Called from
+    /// [`KoshaNode::maintain`], never from the leaf-change hook, so its
+    /// per-slot owner round-trips stay off the failover critical path.
+    pub fn gc_replica_slots(&self) -> u64 {
+        let root = format!("/{}", Area::Replica.dir_name());
+        let slots: Vec<String> = self.store.with_store(|v| {
+            let Ok((dir, _)) = v.resolve(&root) else {
+                return Vec::new();
+            };
+            v.readdir(dir)
+                .map(|entries| {
+                    entries
+                        .into_iter()
+                        .filter(|e| e.name.starts_with('@'))
+                        .map(|e| e.name)
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+        let mut dropped = 0u64;
+        for slot in slots {
+            // The anchor meta inside the slot carries the ROUTING name
+            // (what the DHT keys on), which is exactly what we need to
+            // find the owner. No meta → keep; the copy may still be
+            // mid-migration.
+            let meta = format!("{root}/{slot}/{ANCHOR_META}");
+            let Some(routing) = self.store.with_store(|v| {
+                let (id, attr) = v.resolve(&meta).ok()?;
+                let (data, _) = v.read(id, 0, attr.size as u32).ok()?;
+                String::from_utf8(data).ok()
+            }) else {
+                continue;
+            };
+            let Ok(owner) = self.owner_of(&routing) else {
+                continue;
+            };
+            if owner.id == self.info.id {
+                // We own the anchor ourselves; promotion/demotion paths
+                // manage the slot, not GC.
+                continue;
+            }
+            let Ok(KoshaReply::Nodes(targets)) = self.control(
+                owner.addr,
+                &KoshaRequest::ReplicaTargetsBySlot { slot: slot.clone() },
+            ) else {
+                continue;
+            };
+            if targets.contains(&self.info.addr) {
+                continue;
+            }
+            let removed = self
+                .store
+                .with_store(|v| {
+                    let (rparent, _) = v.resolve(&root)?;
+                    v.remove_tree(rparent, &slot)
+                })
+                .is_ok();
+            if removed {
+                dropped += 1;
+                self.stats.replica_gc.inc();
+                self.journal(
+                    "replica_gc",
+                    format!("dropped stale replica slot {slot} (no longer a target)"),
+                );
+            }
+        }
+        dropped
+    }
+
     // ---- the control handler ----------------------------------------------
 
     pub(crate) fn handle_control(&self, req: KoshaRequest) -> Result<KoshaReply, NfsStatus> {
@@ -1269,6 +1347,13 @@ impl KoshaNode {
                 Ok(KoshaReply::Done)
             }
             KoshaRequest::ListAnchors => Ok(KoshaReply::Anchors(self.hosted_anchors())),
+            KoshaRequest::AuditScan => {
+                // Anti-entropy scan: digest every local slot. Local
+                // state only — the auditor fans this out cluster-wide,
+                // and a handler that issued nested RPCs could deadlock
+                // two nodes auditing each other.
+                Ok(KoshaReply::Audit(self.audit_scan()))
+            }
             KoshaRequest::Flush { path } => {
                 // NFS COMMIT barrier: the client fsynced, so every queued
                 // write-behind op must reach the replicas before we ack.
@@ -1285,6 +1370,17 @@ impl KoshaNode {
             KoshaRequest::ReplicaTargets { path } => {
                 let anchor = self.covering_anchor(&path);
                 if !self.hosted(&anchor) {
+                    return Err(NfsStatus::NoEnt);
+                }
+                Ok(KoshaReply::Nodes(self.replica_addrs()))
+            }
+            KoshaRequest::ReplicaTargetsBySlot { slot } => {
+                // GC probe: a replica holder only knows the slot name, so
+                // map it back through our hosted-anchor table. `NoEnt`
+                // (we don't host it) tells the holder to keep its copy —
+                // never to drop anything.
+                let hosted = self.anchors.lock().keys().any(|p| anchor_slot(p) == slot);
+                if !hosted {
                     return Err(NfsStatus::NoEnt);
                 }
                 Ok(KoshaReply::Nodes(self.replica_addrs()))

@@ -73,6 +73,11 @@ pub struct KoshaStats {
     /// way the divergence was journaled rather than silently served
     /// (`kosha_replica_lag_total`).
     pub replica_lag_events: Arc<Counter>,
+    /// Stale replica slots garbage-collected by the maintenance pass:
+    /// the anchor's owner confirmed this node is no longer a replica
+    /// target, so the leftover copy was dropped
+    /// (`kosha_replica_gc_total`).
+    pub replica_gc: Arc<Counter>,
 }
 
 /// A plain-value snapshot of [`KoshaStats`].
@@ -110,6 +115,8 @@ pub struct StatsSnapshot {
     pub writeback_coalesced_ops: u64,
     /// See [`KoshaStats::replica_lag_events`].
     pub replica_lag_events: u64,
+    /// See [`KoshaStats::replica_gc`].
+    pub replica_gc: u64,
 }
 
 impl KoshaStats {
@@ -140,6 +147,7 @@ impl KoshaStats {
             writeback_flushed_ops: c("kosha_writeback_flushed_ops_total"),
             writeback_coalesced_ops: c("kosha_writeback_coalesced_ops_total"),
             replica_lag_events: c("kosha_replica_lag_total"),
+            replica_gc: c("kosha_replica_gc_total"),
         }
     }
 
@@ -163,6 +171,7 @@ impl KoshaStats {
             writeback_flushed_ops: self.writeback_flushed_ops.get(),
             writeback_coalesced_ops: self.writeback_coalesced_ops.get(),
             replica_lag_events: self.replica_lag_events.get(),
+            replica_gc: self.replica_gc.get(),
         }
     }
 }

@@ -3,8 +3,8 @@
 //! stale reads), and the coalescing equivalence property.
 
 use kosha::control::{KoshaReplyFrame, KoshaRequest, MigrateItem, ReplicaOp};
-use kosha::paths::{slot_local_path, Area};
-use kosha::{KoshaConfig, KoshaMount, KoshaNode, ReplicationMode};
+use kosha::paths::{anchor_slot, slot_local_path, Area};
+use kosha::{tree_digest, KoshaConfig, KoshaMount, KoshaNode, ReplicationMode};
 use kosha_id::node_id_from_seed;
 use kosha_nfs::messages::WireSetAttr;
 use kosha_rpc::{Network, NodeAddr, RpcRequest, ServiceId, SimNetwork};
@@ -401,5 +401,68 @@ proptest! {
         }
 
         prop_assert_eq!(replica_tree(&node_a), replica_tree(&node_b));
+        // The audit digest (DESIGN.md §15) sees them as identical too:
+        // digest(seq-apply) == digest(coalesced-apply).
+        let digest_a = node_a
+            .with_store(|v| v.export_tree("/kosha_replica"))
+            .map(|items| tree_digest(&items))
+            .expect("export a");
+        let digest_b = node_b
+            .with_store(|v| v.export_tree("/kosha_replica"))
+            .map(|items| tree_digest(&items))
+            .expect("export b");
+        prop_assert_eq!(digest_a, digest_b);
+    }
+}
+
+// ---- audit digest after a flush barrier --------------------------------
+
+/// Audit digest of `anchor`'s slot in `area` on `node`, if the slot
+/// exists there.
+fn slot_digest(node: &Arc<KoshaNode>, area: Area, anchor: &str) -> Option<[u8; 20]> {
+    let root = format!("/{}/{}", area.dir_name(), anchor_slot(anchor));
+    node.with_store(|v| v.export_tree(&root).ok().map(|items| tree_digest(&items)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end version of the same property, through the real
+    /// write-behind queue: whatever random mutation mix was enqueued
+    /// (and however it coalesced), after a COMMIT flush barrier every
+    /// replica slot's audit digest equals the primary's.
+    #[test]
+    fn flush_barrier_makes_replica_digests_equal_primary(
+        script in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>()),
+            1..20,
+        ),
+    ) {
+        let c = build_cluster(4, wb_cfg(256));
+        let m = mount(&c, 0);
+        m.mkdir_p("/prop").unwrap();
+        let mut touched = std::collections::BTreeSet::new();
+        for &(f, off, val) in &script {
+            let path = format!("/prop/f{}", f % 3);
+            if touched.insert(path.clone()) {
+                m.write_file(&path, &[val; 16]).unwrap();
+            } else {
+                m.write_at(&path, u64::from(off % 64), &[val; 8]).unwrap();
+            }
+        }
+        let any_file = touched.iter().next().expect("wrote something").clone();
+        m.commit(&any_file).unwrap(); // barrier drains the whole queue
+        c.net.run_pumps();
+
+        let primary = primary_of(&c, "/prop");
+        let pd = slot_digest(primary, Area::Store, "/prop").expect("primary slot");
+        let mut matching = 0;
+        for n in &c.nodes {
+            if let Some(rd) = slot_digest(n, Area::Replica, "/prop") {
+                prop_assert_eq!(rd, pd, "replica digest diverges after barrier");
+                matching += 1;
+            }
+        }
+        prop_assert!(matching >= 2, "only {} replica slots found", matching);
     }
 }

@@ -149,6 +149,28 @@ mod tests {
     }
 
     #[test]
+    fn recorder_ceiling_overflow_surfaces_in_self_gauges() {
+        // Churn past the series ceiling must show up in the standard
+        // exposition (`kosha_obs_recorder_dropped_total`), not vanish.
+        let obs = Obs::default();
+        for i in 0..recorder::DEFAULT_MAX_SERIES {
+            obs.recorder.record(&format!("s{i:04}"), 1, 0);
+        }
+        obs.recorder.record("one-too-many", 2, 0);
+        obs.recorder.record("two-too-many", 2, 0);
+        obs.export_self_gauges();
+        assert_eq!(
+            obs.registry.gauge("kosha_obs_recorder_dropped_total").get(),
+            2
+        );
+        assert_eq!(
+            obs.recorder.series_count(),
+            recorder::DEFAULT_MAX_SERIES,
+            "ceiling held without eviction"
+        );
+    }
+
+    #[test]
     fn registry_and_journal_share_a_domain() {
         let obs = Obs::new();
         obs.registry.counter("x_total").inc();

@@ -239,6 +239,18 @@ impl Recorder {
         }
     }
 
+    /// Forgets series `name`: removes both its source registration and
+    /// its recorded points, freeing a slot in the series budget. Returns
+    /// whether anything was removed. Unlike budget exhaustion this is a
+    /// deliberate retirement (a peer departed), so it does **not** count
+    /// toward [`Recorder::dropped`].
+    pub fn forget(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("recorder lock");
+        let had_source = inner.sources.remove(name).is_some();
+        let had_series = inner.series.remove(name).is_some();
+        had_source || had_series
+    }
+
     /// One tick: snapshots every registered source at `t_nanos`, in
     /// sorted name order. Deterministic given deterministic sources and
     /// timestamps.
@@ -591,6 +603,78 @@ mod tests {
         assert_eq!(rec.dropped(), 1);
         assert!(rec.series("c").is_none());
         assert!(rec.memory_ceiling_bytes() <= 2 * 4 * 16);
+    }
+
+    #[test]
+    fn recorder_at_default_ceiling_drops_new_series_loudly() {
+        // Churn scenario: 512 per-peer series exist, then new peers keep
+        // arriving. Every new series past the ceiling must be refused
+        // with a `dropped` increment — never a panic, never a silent
+        // eviction of an existing series.
+        let rec = Recorder::default();
+        for i in 0..DEFAULT_MAX_SERIES {
+            rec.record(&format!("peer{i:04}"), 1, i as u64);
+        }
+        assert_eq!(rec.series_count(), DEFAULT_MAX_SERIES);
+        assert_eq!(rec.dropped(), 0);
+        for i in 0..32 {
+            rec.record(&format!("late{i:04}"), 2, 9);
+        }
+        assert_eq!(rec.series_count(), DEFAULT_MAX_SERIES, "no eviction");
+        assert_eq!(rec.dropped(), 32, "each refusal counted");
+        assert!(rec.series("late0000").is_none());
+        // Every pre-ceiling series survived untouched.
+        assert_eq!(rec.series("peer0000").unwrap(), vec![(1, 0)]);
+        assert_eq!(
+            rec.series(&format!("peer{:04}", DEFAULT_MAX_SERIES - 1))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn recorder_at_ceiling_refuses_new_sources_on_watch_and_tick() {
+        let rec = Recorder::new(4, DEFAULT_MAX_SERIES);
+        let old = Arc::new(Gauge::default());
+        old.set(5);
+        rec.watch_gauge("keeper", &old);
+        for i in 1..DEFAULT_MAX_SERIES {
+            rec.watch_gauge(&format!("g{i:04}"), &Arc::new(Gauge::default()));
+        }
+        assert_eq!(rec.dropped(), 0);
+        // The 513th watch is refused and counted; ticking afterwards
+        // must not panic and must still sample every accepted source.
+        rec.watch_gauge("overflow", &Arc::new(Gauge::default()));
+        assert_eq!(rec.dropped(), 1);
+        rec.sample_all(10);
+        assert_eq!(rec.series_count(), DEFAULT_MAX_SERIES);
+        assert!(rec.series("overflow").is_none());
+        assert_eq!(rec.last("keeper"), Some((10, 5)));
+    }
+
+    #[test]
+    fn forget_retires_series_and_frees_budget() {
+        let rec = Recorder::new(4, 2);
+        let g = Arc::new(Gauge::default());
+        g.set(3);
+        rec.watch_gauge("a", &g);
+        rec.record("b", 1, 1);
+        rec.sample_all(2);
+        assert_eq!(rec.series_count(), 2);
+        // Budget full: a new series is refused...
+        rec.record("c", 3, 1);
+        assert_eq!(rec.dropped(), 1);
+        // ...until the departed peer's series is forgotten.
+        assert!(rec.forget("a"));
+        assert!(!rec.forget("a"), "second forget is a no-op");
+        assert!(rec.series("a").is_none());
+        rec.record("c", 4, 1);
+        assert_eq!(rec.series_count(), 2);
+        assert_eq!(rec.dropped(), 1, "forget is not a drop");
+        // The forgotten source is no longer sampled back into existence.
+        rec.sample_all(5);
+        assert!(rec.series("a").is_none());
     }
 
     #[test]

@@ -163,6 +163,23 @@ impl NetMetrics {
         self.peer_latency.read().get(&to.0).map(|p| p.ewma)
     }
 
+    /// Retires a departed peer's latency state: drops its EWMA entry,
+    /// its `rpc_peer_latency_ewma_nanos{peer=...}` registry gauge, and
+    /// the matching flight-recorder source/series. Called on transport
+    /// `detach`; without it the per-peer label set grows without bound
+    /// under churn and exhausts the recorder's series budget.
+    pub fn prune_peer(&self, to: NodeAddr) {
+        let had = self.peer_latency.write().remove(&to.0).is_some();
+        if had {
+            let name = labeled(
+                "rpc_peer_latency_ewma_nanos",
+                &[("peer", &format!("n{:06}", to.0))],
+            );
+            self.obs.registry.remove(&name);
+            self.obs.recorder.forget(&name);
+        }
+    }
+
     /// The observability domain (for exposition and tests).
     pub fn obs(&self) -> Arc<Obs> {
         Arc::clone(&self.obs)
@@ -266,6 +283,37 @@ mod tests {
                 .last("rpc_peer_latency_ewma_nanos{peer=\"n000020\"}"),
             Some((42, 900))
         );
+    }
+
+    #[test]
+    fn prune_peer_retires_gauge_ewma_and_recorder_series() {
+        let m = NetMetrics::new();
+        m.note_peer_latency(NodeAddr(7), 400);
+        m.note_peer_latency(NodeAddr(8), 600);
+        m.obs().recorder.sample_all(1);
+        let name7 = "rpc_peer_latency_ewma_nanos{peer=\"n000007\"}";
+        assert!(m.obs().recorder.series(name7).is_some());
+
+        m.prune_peer(NodeAddr(7));
+        assert_eq!(m.peer_latency(NodeAddr(7)), None);
+        assert!(
+            !m.obs().registry.names().iter().any(|n| n == name7),
+            "gauge must leave the exposition"
+        );
+        assert!(m.obs().recorder.series(name7).is_none());
+        // Ticking again must not resurrect the pruned series.
+        m.obs().recorder.sample_all(2);
+        assert!(m.obs().recorder.series(name7).is_none());
+        // The surviving peer is untouched, and pruning counts no drops.
+        assert_eq!(m.peer_latency(NodeAddr(8)), Some(600));
+        assert_eq!(m.obs().recorder.dropped(), 0);
+        // Pruning an unknown peer is a no-op.
+        m.prune_peer(NodeAddr(99));
+        // A returning peer re-registers cleanly from scratch.
+        m.note_peer_latency(NodeAddr(7), 1000);
+        assert_eq!(m.peer_latency(NodeAddr(7)), Some(1000));
+        m.obs().recorder.sample_all(3);
+        assert_eq!(m.obs().recorder.last(name7), Some((3, 1000)));
     }
 
     #[test]

@@ -251,9 +251,12 @@ impl SimNetwork {
         self.down.write().remove(&addr);
     }
 
-    /// Detaches a node entirely (permanent removal).
+    /// Detaches a node entirely (permanent removal). The departed peer's
+    /// latency gauge and recorder series are pruned with it, so churn
+    /// does not grow the per-peer label set without bound.
     pub fn detach(&self, addr: NodeAddr) {
         self.nodes.write().remove(&addr);
+        self.metrics.prune_peer(addr);
     }
 
     /// Marks a node as crashed: calls to it time out. Its state is
@@ -669,6 +672,35 @@ mod tests {
             net.attach(NodeAddr(a), mux);
         }
         net
+    }
+
+    #[test]
+    fn detach_prunes_peer_latency_telemetry() {
+        let net = net_with_echo(LatencyModel::default());
+        // Generations of short-lived peers join, serve one call, leave.
+        for gen in 0..40u64 {
+            let addr = NodeAddr(100 + gen);
+            let mux = Arc::new(ServiceMux::new());
+            mux.register(ServiceId::Nfs, Arc::new(Echo));
+            net.attach(addr, mux);
+            net.call(NodeAddr(1), addr, RpcRequest::new(ServiceId::Nfs, &gen))
+                .unwrap();
+            net.obs().recorder.sample_all(gen);
+            net.detach(addr);
+            assert_eq!(net.peer_latency_nanos(addr), None);
+        }
+        let obs = net.obs();
+        let peers = |v: Vec<String>| {
+            v.into_iter()
+                .filter(|n| n.starts_with("rpc_peer_latency_ewma_nanos"))
+                .count()
+        };
+        // Only the long-lived peer 2 may still hold a gauge (from the
+        // net_with_echo warm-up path); every churned peer is gone from
+        // registry and recorder alike, with nothing counted as dropped.
+        assert!(peers(obs.registry.names()) <= 1, "registry grew");
+        assert!(peers(obs.recorder.series_names()) <= 1, "recorder grew");
+        assert_eq!(obs.recorder.dropped(), 0);
     }
 
     #[test]

@@ -425,7 +425,9 @@ impl ThreadedNetwork {
     }
 
     /// Detaches a node, closing all of its actors. Requests already
-    /// queued are dropped (their callers observe `Unreachable`).
+    /// queued are dropped (their callers observe `Unreachable`). The
+    /// departed peer's latency gauge and recorder series are pruned with
+    /// it, so churn does not grow the per-peer label set without bound.
     pub fn detach(&self, addr: NodeAddr) {
         let removed: Vec<Arc<ServiceActor>> = {
             let mut actors = self.actors.write();
@@ -437,6 +439,7 @@ impl ThreadedNetwork {
             inner.closed = true;
             inner.q.clear();
         }
+        self.metrics.prune_peer(addr);
     }
 
     /// Simulates a crash: the node stops answering (actors keep their

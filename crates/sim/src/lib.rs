@@ -23,6 +23,7 @@
 pub mod availability;
 pub mod baseline;
 pub mod cached_mount;
+pub mod churn;
 pub mod cluster;
 pub mod experiments;
 pub mod fstrace;
@@ -34,6 +35,7 @@ pub mod workbench;
 
 pub use availability::{AvailabilityParams, AvailabilityTrace};
 pub use cached_mount::CachedKoshaMount;
+pub use churn::{run_churn, ChurnParams, ChurnReport, ChurnWindow, DivergencePoint};
 pub use cluster::{ClusterParams, SimCluster};
 pub use fstrace::{FsTrace, TraceFile, TraceParams};
 pub use mab::{MabParams, MabTimes};
