@@ -1,0 +1,309 @@
+//! Deterministic hot-spot relief bench: the same seeded Zipf read storm
+//! run twice — once with heat-driven cached replicas off (the baseline)
+//! and once with them on — on a distance-aware simulated LAN.
+//!
+//! The paper's §6 load analysis worries about exactly this workload: a
+//! few Zipf-popular files funnel most reads through one primary and its
+//! K replica holders. With the feature on (DESIGN.md §16) primaries
+//! spawn leased read-only copies past the heat threshold, the reader's
+//! heat-weighted rotor leans on them, and the latency-EWMA filter picks
+//! the nearest advertised holder. The bench reports, for both runs:
+//!
+//! * read latency p50/p99 from virtual-clock deltas around each READ,
+//! * store-load skew across nodes (max/mean and Gini over real NFS ops),
+//! * hot-copy counters (pushes, drops, lease invalidations),
+//!
+//! plus, for the hot run, the outstanding-copy count sampled over the
+//! storm and after a long idle cool-down — the copies must shed back to
+//! exactly K (a final count of zero).
+//!
+//! Everything runs on the virtual clock with seeded ids and a seeded
+//! workload RNG; two invocations emit byte-identical output. The JSON
+//! summary is written to `BENCH_hotspot.json` for CI's determinism gate.
+
+use kosha::{cluster_flight, FlightOptions, FlightReport, KoshaConfig, KoshaMount, KoshaNode};
+use kosha_id::node_id_from_seed;
+use kosha_rpc::{Clock, LatencyModel, Network, NodeAddr, SimNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: usize = 8;
+const FILES: usize = 8;
+/// Unmeasured prefix of the same Zipf stream: spawns, first contacts,
+/// and handle-cache warm-up happen here, so the measured phase compares
+/// the two configurations' steady states.
+const WARMUP: usize = 200;
+const READS: usize = 900;
+const SEED: u64 = 0x401_5eed;
+/// Rewrite the rank-1 file this often: the storm exercises the write
+/// path's synchronous lease invalidation, not just cold spreading.
+const WRITE_EVERY: usize = 250;
+/// Pump + sample cadence during the storm.
+const TICK_EVERY: usize = 50;
+/// Maintenance cadence (lease renewal rides on it).
+const MAINTAIN_EVERY: usize = 150;
+
+/// Zipf(s=1) sampler over ranks `1..=n` via integer inverse-CDF.
+struct Zipf {
+    cumulative: Vec<u64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0u64;
+        for rank in 1..=n as u64 {
+            acc += 1_000_000 / rank;
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.random_range(0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+struct RunOutcome {
+    p50_nanos: u64,
+    p99_nanos: u64,
+    report: FlightReport,
+    /// `(reads_done, outstanding hot copies)` samples over the storm,
+    /// ending with the post-cool-down count.
+    copies_series: Vec<(usize, i64)>,
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn run(hot: bool) -> RunOutcome {
+    // A distance-aware LAN: hosts sit on a line, so the latency to a
+    // holder depends on which holder serves — giving the reader's
+    // EWMA filter real choices to exploit.
+    let model = LatencyModel {
+        per_distance_unit: Duration::from_micros(50),
+        ..LatencyModel::default()
+    };
+    let net = SimNetwork::new(model);
+    let mut nodes: Vec<Arc<KoshaNode>> = Vec::new();
+    for i in 0..NODES {
+        let id = node_id_from_seed(&format!("kosha-host-{i}"));
+        let mut cfg = KoshaConfig::for_tests();
+        cfg.distribution_level = 1;
+        cfg.replicas = 1;
+        cfg.read_from_replicas = true;
+        if hot {
+            cfg.hot_replicas = 5;
+            cfg.hot_threshold_milli = 6_000;
+            cfg.hot_lease_nanos = 5_000_000_000;
+        }
+        let addr = NodeAddr(i as u64 + 1);
+        net.set_coord(addr, i as f64, 0.0);
+        let (node, mux) = KoshaNode::build(cfg, id, addr, net.clone() as _);
+        net.attach(addr, mux);
+        node.join(if i == 0 { None } else { Some(NodeAddr(1)) })
+            .expect("join");
+        nodes.push(node);
+    }
+    let mount =
+        KoshaMount::new(net.clone() as Arc<dyn Network>, NodeAddr(1), NodeAddr(1)).expect("mount");
+
+    for d in 0..4 {
+        mount.mkdir_p(&format!("/kosha/d{d}")).expect("mkdir");
+    }
+    let paths: Vec<String> = (0..FILES)
+        .map(|f| format!("/kosha/d{}/f{:02}", f % 4, f))
+        .collect();
+    for (f, p) in paths.iter().enumerate() {
+        mount.write_file(p, &[f as u8; 512]).expect("seed file");
+    }
+    net.run_pumps();
+
+    let copies_now = |nodes: &[Arc<KoshaNode>]| -> i64 {
+        nodes
+            .iter()
+            .map(|n| n.obs().registry.gauge("kosha_hot_copies").get())
+            .sum()
+    };
+
+    let zipf = Zipf::new(FILES);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut lat = Vec::with_capacity(READS);
+    let mut copies_series = Vec::new();
+    for i in 0..WARMUP + READS {
+        let rank = zipf.sample(&mut rng);
+        let t0 = net.clock().now().0;
+        mount.read_file(&paths[rank]).expect("zipf read");
+        if i >= WARMUP {
+            lat.push(net.clock().now().0 - t0);
+        }
+        if (i + 1) % WRITE_EVERY == 0 {
+            // A write into the hot set: leases void before the ack.
+            mount
+                .write_file(&paths[0], &[(i % 251) as u8; 512])
+                .expect("hot write");
+        }
+        if (i + 1) % MAINTAIN_EVERY == 0 {
+            for node in &nodes {
+                node.maintain();
+            }
+        }
+        if (i + 1) % TICK_EVERY == 0 {
+            net.run_pumps();
+            if i >= WARMUP {
+                copies_series.push((i + 1 - WARMUP, copies_now(&nodes)));
+            }
+        }
+    }
+    net.run_pumps();
+
+    // Long idle cool-down: heat decays far below the shed threshold, so
+    // maintenance must revoke every cached copy.
+    net.virtual_clock().advance(Duration::from_secs(600));
+    for node in &nodes {
+        node.maintain();
+    }
+    net.run_pumps();
+    copies_series.push((READS, copies_now(&nodes)));
+
+    let refs: Vec<&KoshaNode> = nodes.iter().map(|n| n.as_ref()).collect();
+    let report = cluster_flight(
+        Some(&net.obs()),
+        &refs,
+        net.clock().now().0,
+        &FlightOptions::default(),
+    );
+
+    lat.sort_unstable();
+    RunOutcome {
+        p50_nanos: percentile(&lat, 50),
+        p99_nanos: percentile(&lat, 99),
+        report,
+        copies_series,
+    }
+}
+
+fn run_json(name: &str, o: &RunOutcome, trailing_comma: bool) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"read_p50_nanos\": {},\n",
+            "    \"read_p99_nanos\": {},\n",
+            "    \"skew\": {{\"max_over_mean_x1000\": {}, \"gini_x1000\": {}}},\n",
+            "    \"hot\": {{\"copies_final\": {}, \"pushes\": {}, \"drops\": {}, \
+             \"lease_invalidations\": {}}}\n",
+            "  }}{}\n",
+        ),
+        name,
+        o.p50_nanos,
+        o.p99_nanos,
+        o.report.skew_max_over_mean_x1000,
+        o.report.skew_gini_x1000,
+        o.report.hot.0,
+        o.report.hot.1,
+        o.report.hot.2,
+        o.report.hot.3,
+        if trailing_comma { "," } else { "" },
+    )
+}
+
+fn main() {
+    let json_only = std::env::args().any(|a| a == "--json");
+
+    let base = run(false);
+    let hot = run(true);
+
+    let peak_copies = hot.copies_series.iter().map(|&(_, c)| c).max().unwrap_or(0);
+    let final_copies = hot.copies_series.last().map_or(0, |&(_, c)| c);
+
+    let mut series_json = String::new();
+    for (i, &(reads, copies)) in hot.copies_series.iter().enumerate() {
+        series_json.push_str(&format!(
+            "    {{\"reads\": {}, \"copies\": {}}}{}\n",
+            reads,
+            copies,
+            if i + 1 < hot.copies_series.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"nodes\": {},\n",
+            "  \"files\": {},\n",
+            "  \"reads\": {},\n",
+            "{}",
+            "{}",
+            "  \"hot_copies_peak\": {},\n",
+            "  \"hot_copies_series\": [\n{}  ]\n",
+            "}}"
+        ),
+        NODES,
+        FILES,
+        READS,
+        run_json("baseline", &base, true),
+        run_json("hot", &hot, true),
+        peak_copies,
+        series_json,
+    );
+    std::fs::write("BENCH_hotspot.json", format!("{json}\n")).expect("write BENCH_hotspot.json");
+
+    if json_only {
+        println!("{json}");
+    } else {
+        println!("==== hot-spot relief (Zipf reads, baseline vs heat-driven copies) ====");
+        println!("cluster: {NODES} nodes, {FILES} files, {READS} Zipf(s=1) READs, K=1");
+        println!(
+            "read latency: p50 {} -> {} ns, p99 {} -> {} ns",
+            base.p50_nanos, hot.p50_nanos, base.p99_nanos, hot.p99_nanos
+        );
+        println!(
+            "store-load skew: max/mean {} -> {} (x1000), gini {} -> {} (x1000)",
+            base.report.skew_max_over_mean_x1000,
+            hot.report.skew_max_over_mean_x1000,
+            base.report.skew_gini_x1000,
+            hot.report.skew_gini_x1000
+        );
+        println!(
+            "hot copies: peak {peak_copies}, final {final_copies} (pushes {}, drops {}, lease invalidations {})",
+            hot.report.hot.1, hot.report.hot.2, hot.report.hot.3
+        );
+        println!("wrote BENCH_hotspot.json");
+    }
+
+    // The feature must pay for itself on its target workload...
+    assert!(
+        hot.p99_nanos <= base.p99_nanos,
+        "hot copies worsened p99 read latency: {} > {}",
+        hot.p99_nanos,
+        base.p99_nanos
+    );
+    assert!(
+        hot.report.skew_gini_x1000 <= base.report.skew_gini_x1000,
+        "hot copies worsened load skew: gini {} > {}",
+        hot.report.skew_gini_x1000,
+        base.report.skew_gini_x1000
+    );
+    // ...by actually spawning copies, which must all shed once cold.
+    assert!(peak_copies > 0, "the storm never spawned a hot copy");
+    assert_eq!(final_copies, 0, "copies survived the cool-down");
+    assert_eq!(
+        hot.report.hot.0, 0,
+        "flight report still counts outstanding copies"
+    );
+    // The baseline run must be genuinely feature-off.
+    assert_eq!(base.report.hot, (0, 0, 0, 0), "baseline spawned hot state");
+    // Writes into the hot set voided leases synchronously.
+    assert!(
+        hot.report.hot.3 > 0,
+        "storm writes never invalidated a lease"
+    );
+}

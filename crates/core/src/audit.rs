@@ -29,7 +29,7 @@
 
 use crate::control::{AuditEntry, KoshaReply, KoshaReplyFrame, KoshaRequest};
 use crate::node::KoshaNode;
-use crate::paths::{anchor_slot, is_internal_name, Area, LAG_MARK, MIGRATION_FLAG};
+use crate::paths::{anchor_slot, is_internal_name, Area, HOT_MARK, LAG_MARK, MIGRATION_FLAG};
 use kosha_id::Sha1;
 use kosha_obs::Obs;
 use kosha_rpc::{Network, NodeAddr, RpcRequest, ServiceId};
@@ -49,6 +49,9 @@ pub struct SlotSummary {
     pub lag_marker: bool,
     /// A `MIGRATION_NOT_COMPLETE` flag sits at the slot root.
     pub migrating: bool,
+    /// A `.kosha_hot` lease marker sits at the slot root: the slot holds
+    /// heat-driven cached copies (DESIGN.md §16), not a durable replica.
+    pub hot: bool,
 }
 
 /// Whether an exported item is Kosha-internal bookkeeping (`.kosha_anchor`,
@@ -128,6 +131,7 @@ pub fn slot_summary(items: &[ExportItem]) -> SlotSummary {
         files,
         lag_marker: items.iter().any(|i| i.rel_path == LAG_MARK),
         migrating: items.iter().any(|i| i.rel_path == MIGRATION_FLAG),
+        hot: items.iter().any(|i| i.rel_path == HOT_MARK),
     }
 }
 
@@ -183,6 +187,7 @@ impl KoshaNode {
                     files: summary.files,
                     lag_marker: summary.lag_marker,
                     migrating: summary.migrating,
+                    hot: summary.hot,
                 });
             }
         }
@@ -291,6 +296,13 @@ pub struct AuditReport {
     /// Replica copies mid-push (`MIGRATION_NOT_COMPLETE` present);
     /// expected to diverge, so excluded from the divergence counts.
     pub migrations_in_flight: u64,
+    /// Lease-stamped hot-copy slots (`.kosha_hot` present, DESIGN.md
+    /// §16). Hot copies are read caches beyond K, hold only the leased
+    /// objects (their digests are *expected* to differ from the full
+    /// primary slot), and are governed by their lease — so they are
+    /// counted here and excluded from replication, divergence, and
+    /// orphan accounting entirely.
+    pub hot_copies: u64,
     /// Outstanding `.kosha_lag` markers across all replica slots.
     pub lag_markers: u64,
     /// `replica_lag` journal events across the nodes' journals, and the
@@ -339,6 +351,16 @@ pub fn audit_cluster(
         };
         report.nodes_scanned += 1;
         for e in entries {
+            if e.replica && e.hot {
+                // A leased hot copy is not a replica holder: it must not
+                // count toward K (over-replication), must not be judged
+                // against the primary's digest (it holds only the leased
+                // objects), and is not an orphan (its lease, not a
+                // primary join, governs its lifetime — expired ones are
+                // collected by replica-slot GC).
+                report.hot_copies += 1;
+                continue;
+            }
             let copy = AuditCopy {
                 addr: addr.0,
                 path: e.path,
@@ -446,6 +468,7 @@ impl AuditReport {
         g("kosha_audit_under_replicated", self.under_replicated);
         g("kosha_audit_over_replicated", self.over_replicated);
         g("kosha_audit_orphaned_replicas", self.orphaned_replicas);
+        g("kosha_audit_hot_copies", self.hot_copies);
         g("kosha_audit_lag_markers", self.lag_markers);
         g("kosha_audit_nodes_unreachable", self.nodes_unreachable);
         for (series, v) in [
@@ -478,12 +501,13 @@ impl AuditReport {
         ));
         out.push_str(&format!(
             "replicas: {} copies, {} orphaned, {} dup primaries, \
-             {} migrating, {} lag marker(s)\n",
+             {} migrating, {} lag marker(s), {} hot cop(ies)\n",
             self.replica_copies,
             self.orphaned_replicas,
             self.duplicate_primaries,
             self.migrations_in_flight,
             self.lag_markers,
+            self.hot_copies,
         ));
         out.push_str(&format!(
             "lag journal: {} event(s), max age {}ns\n",
@@ -506,6 +530,7 @@ impl AuditReport {
              \"bytes_divergent\": {}, \"under_replicated\": {}, \
              \"over_replicated\": {}, \"orphaned_replicas\": {}, \
              \"duplicate_primaries\": {}, \"migrations_in_flight\": {}, \
+             \"hot_copies\": {}, \
              \"lag_markers\": {}, \"lag_events\": {}, \"lag_max_age_nanos\": {}}}",
             self.now_nanos,
             self.nodes_scanned,
@@ -520,6 +545,7 @@ impl AuditReport {
             self.orphaned_replicas,
             self.duplicate_primaries,
             self.migrations_in_flight,
+            self.hot_copies,
             self.lag_markers,
             self.lag_events,
             self.lag_max_age_nanos,
@@ -849,6 +875,7 @@ mod tests {
             orphaned_replicas: 1,
             duplicate_primaries: 0,
             migrations_in_flight: 1,
+            hot_copies: 2,
             lag_markers: 2,
             lag_events: 0,
             lag_max_age_nanos: 0,
@@ -858,6 +885,7 @@ mod tests {
         report.publish(&obs);
         assert_eq!(obs.registry.gauge("kosha_audit_objects_divergent").get(), 2);
         assert_eq!(obs.registry.gauge("kosha_audit_lag_markers").get(), 2);
+        assert_eq!(obs.registry.gauge("kosha_audit_hot_copies").get(), 2);
         assert_eq!(
             obs.recorder.last("kosha_audit_objects_divergent"),
             Some((42, 2))
@@ -868,8 +896,10 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("attention: /a, @beef (orphan)"), "{text}");
+        assert!(text.contains("2 hot cop(ies)"), "{text}");
         let json = report.to_json();
         assert!(json.contains("\"objects_divergent\": 2"), "{json}");
+        assert!(json.contains("\"hot_copies\": 2"), "{json}");
         assert!(json.ends_with('}') && json.starts_with('{'));
     }
 }

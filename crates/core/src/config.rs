@@ -99,6 +99,21 @@ pub struct KoshaConfig {
     /// ticks every hook once); under `ThreadedNetwork` the pump thread
     /// honors it in wall time.
     pub sample_interval: Duration,
+    /// Maximum extra read-only cached copies a primary may push for one
+    /// hot object, beyond the K durable replicas (DESIGN.md §16). `0`
+    /// disables heat-driven read scaling entirely: no hot-path heat
+    /// tracking at the primary, no lease state, no extra copies.
+    pub hot_replicas: usize,
+    /// Read heat (milli-units, 1000 = one undecayed read) at which the
+    /// primary spawns hot copies for an object. Copies shed once decayed
+    /// heat falls below half this value (hysteresis, so an object
+    /// oscillating at the threshold does not thrash push/drop RPCs).
+    pub hot_threshold_milli: u64,
+    /// Hot-copy lease duration in virtual nanoseconds. A hot copy is
+    /// advertised to readers only while its lease is valid; the primary
+    /// renews leases when it refreshes copies at flush barriers and
+    /// maintenance ticks, and a write invalidates them immediately.
+    pub hot_lease_nanos: u64,
 }
 
 impl Default for KoshaConfig {
@@ -120,6 +135,9 @@ impl Default for KoshaConfig {
             trace_sampling: 0,
             replication_mode: ReplicationMode::Sync,
             sample_interval: Duration::from_millis(50),
+            hot_replicas: 0,
+            hot_threshold_milli: 8_000,
+            hot_lease_nanos: 2_000_000_000,
         }
     }
 }
@@ -145,6 +163,9 @@ impl KoshaConfig {
             trace_sampling: 0,
             replication_mode: ReplicationMode::Sync,
             sample_interval: Duration::from_millis(50),
+            hot_replicas: 0,
+            hot_threshold_milli: 8_000,
+            hot_lease_nanos: 2_000_000_000,
         }
     }
 }
@@ -164,5 +185,8 @@ mod tests {
         assert_eq!(c.replication_mode, ReplicationMode::Sync);
         let t = KoshaConfig::for_tests();
         assert_eq!(t.replication_mode, ReplicationMode::Sync);
+        // Heat-driven read scaling is opt-in everywhere.
+        assert_eq!(c.hot_replicas, 0);
+        assert_eq!(t.hot_replicas, 0);
     }
 }

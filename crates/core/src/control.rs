@@ -135,6 +135,12 @@ pub struct AuditEntry {
     /// A `MIGRATION_NOT_COMPLETE` flag is present: the copy is mid-push
     /// and expected to diverge until the bracket closes.
     pub migrating: bool,
+    /// A `.kosha_hot` lease marker is present: the slot holds read-only
+    /// heat-driven cached copies, not a durable K replica. Hot slots
+    /// carry only the leased objects, so their digests are expected to
+    /// differ from the primary's; the auditor counts them separately
+    /// instead of reporting divergence/over-replication (DESIGN.md §16).
+    pub hot: bool,
 }
 
 impl WireWrite for AuditEntry {
@@ -147,6 +153,7 @@ impl WireWrite for AuditEntry {
         w.u64(self.files);
         w.boolean(self.lag_marker);
         w.boolean(self.migrating);
+        w.boolean(self.hot);
     }
 }
 impl WireRead for AuditEntry {
@@ -160,6 +167,7 @@ impl WireRead for AuditEntry {
             files: r.u64()?,
             lag_marker: r.boolean()?,
             migrating: r.boolean()?,
+            hot: r.boolean()?,
         })
     }
 }
@@ -376,6 +384,45 @@ pub enum KoshaRequest {
     ReplicaTargetsBySlot {
         /// Slot directory name (`@` + 16 hex digits of the routing key).
         slot: String,
+        /// Transport address of the probing holder. When the answer does
+        /// not list this node the holder will drop its copy, so the owner
+        /// voids its full-push memo for the anchor — the next maintenance
+        /// pass re-pushes even if the holder later rejoins the target set
+        /// with the primary content unchanged.
+        holder: u64,
+    },
+    /// Heat-driven read scaling (served on `ServiceId::KoshaReplica`):
+    /// place or refresh one read-only cached copy of a hot object in the
+    /// receiver's replica area, leased until `expires_nanos` and stamped
+    /// with the primary's mutation sequence. The request carries the full
+    /// object payload, so the handler touches only local state (no nested
+    /// RPCs) like every other replica-service handler (DESIGN.md §16).
+    HotReplicaPush {
+        /// Covering anchor virtual path of the hot object.
+        anchor: String,
+        /// The anchor's routing name (recorded in the slot's
+        /// `.kosha_anchor` so replica-slot GC can find the owner).
+        routing: String,
+        /// Virtual path of the hot object.
+        path: String,
+        /// Primary mutation sequence the pushed payload reflects.
+        seq: u64,
+        /// Lease expiry in virtual nanoseconds.
+        expires_nanos: u64,
+        /// The object itself (`rel_path` relative to the anchor root,
+        /// parent directories implied).
+        item: MigrateItem,
+    },
+    /// Heat-driven read scaling (served on `ServiceId::KoshaReplica`):
+    /// revoke the receiver's hot copy of `path` — heat decayed, the
+    /// object was mutated without a refresh, or it was removed. A no-op
+    /// when the receiver's slot carries no `.kosha_hot` lease for the
+    /// path (e.g. the slot became a durable replica in the meantime).
+    HotReplicaDrop {
+        /// Covering anchor virtual path.
+        anchor: String,
+        /// Virtual path of the object whose lease is revoked.
+        path: String,
     },
 }
 
@@ -412,6 +459,8 @@ impl KoshaRequest {
             KoshaRequest::Flush { .. } => "flush",
             KoshaRequest::AuditScan => "audit_scan",
             KoshaRequest::ReplicaTargetsBySlot { .. } => "replica_targets_by_slot",
+            KoshaRequest::HotReplicaPush { .. } => "hot_replica_push",
+            KoshaRequest::HotReplicaDrop { .. } => "hot_replica_drop",
         }
     }
 }
@@ -786,9 +835,31 @@ impl WireWrite for KoshaRequest {
                 w.string(path);
             }
             KoshaRequest::AuditScan => w.u8(24),
-            KoshaRequest::ReplicaTargetsBySlot { slot } => {
+            KoshaRequest::ReplicaTargetsBySlot { slot, holder } => {
                 w.u8(25);
                 w.string(slot);
+                w.u64(*holder);
+            }
+            KoshaRequest::HotReplicaPush {
+                anchor,
+                routing,
+                path,
+                seq,
+                expires_nanos,
+                item,
+            } => {
+                w.u8(26);
+                w.string(anchor);
+                w.string(routing);
+                w.string(path);
+                w.u64(*seq);
+                w.u64(*expires_nanos);
+                w.value(item);
+            }
+            KoshaRequest::HotReplicaDrop { anchor, path } => {
+                w.u8(27);
+                w.string(anchor);
+                w.string(path);
             }
         }
     }
@@ -874,7 +945,22 @@ impl WireRead for KoshaRequest {
             22 => KoshaRequest::ReplicaApplyBatch { ops: r.seq()? },
             23 => KoshaRequest::Flush { path: r.string()? },
             24 => KoshaRequest::AuditScan,
-            25 => KoshaRequest::ReplicaTargetsBySlot { slot: r.string()? },
+            25 => KoshaRequest::ReplicaTargetsBySlot {
+                slot: r.string()?,
+                holder: r.u64()?,
+            },
+            26 => KoshaRequest::HotReplicaPush {
+                anchor: r.string()?,
+                routing: r.string()?,
+                path: r.string()?,
+                seq: r.u64()?,
+                expires_nanos: r.u64()?,
+                item: r.value()?,
+            },
+            27 => KoshaRequest::HotReplicaDrop {
+                anchor: r.string()?,
+                path: r.string()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -1114,6 +1200,7 @@ mod tests {
             KoshaRequest::ReplicaTargets { path: "/a".into() },
             KoshaRequest::ReplicaTargetsBySlot {
                 slot: "@00c0ffee00c0ffee".into(),
+                holder: 7,
             },
             KoshaRequest::MigrateBatch {
                 path: "/a".into(),
@@ -1165,6 +1252,24 @@ mod tests {
                 path: "/a/f".into(),
             },
             KoshaRequest::AuditScan,
+            KoshaRequest::HotReplicaPush {
+                anchor: "/a".into(),
+                routing: "a#2".into(),
+                path: "/a/hot".into(),
+                seq: 17,
+                expires_nanos: 9_000_000_000,
+                item: MigrateItem {
+                    rel_path: "hot".into(),
+                    kind: MigrateKind::Bytes(vec![6; 5]),
+                    mode: 0o644,
+                    uid: 1,
+                    gid: 2,
+                },
+            },
+            KoshaRequest::HotReplicaDrop {
+                anchor: "/a".into(),
+                path: "/a/hot".into(),
+            },
         ];
         for req in reqs {
             let b = req.encode();
@@ -1197,6 +1302,7 @@ mod tests {
                     files: 12,
                     lag_marker: false,
                     migrating: false,
+                    hot: false,
                 },
                 AuditEntry {
                     slot: "@00d4c05e3b0b08e1".into(),
@@ -1207,6 +1313,7 @@ mod tests {
                     files: 11,
                     lag_marker: true,
                     migrating: true,
+                    hot: true,
                 },
             ]))),
             KoshaReplyFrame(Err(NfsStatus::NoSpc)),

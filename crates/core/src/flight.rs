@@ -51,6 +51,9 @@ pub struct NodeRow {
     pub store_ops: u64,
     /// READs this node served from a replica instead of the primary.
     pub replica_reads: u64,
+    /// Heat-driven cached copies this node currently has outstanding as
+    /// a primary (DESIGN.md §16; the `kosha_hot_copies` gauge).
+    pub hot_copies: i64,
     /// Write-behind ops currently queued.
     pub wb_depth: i64,
     /// Coalesce ratio ×1000 (coalesced ops / enqueued ops).
@@ -78,6 +81,10 @@ pub struct FlightReport {
     pub skew_gini_x1000: u64,
     /// Cluster-wide heavy hitters (heat merged across nodes by key).
     pub heat: Vec<HeatEntry>,
+    /// Hot-copy read scaling totals across nodes: `(outstanding copies,
+    /// pushes, drops, lease invalidations)` — all zero with the feature
+    /// off (DESIGN.md §16).
+    pub hot: (u64, u64, u64, u64),
     /// `(burn ×1000, points over SLO, points total)` from the transport
     /// latency series; all zero when the series does not exist.
     pub slo: (u64, u64, u64),
@@ -123,6 +130,7 @@ pub fn cluster_flight(
     let mut lag_events = 0u64;
     let mut lag_max_age = 0u64;
     let mut drops = (0u64, 0u64, 0u64, 0u64);
+    let mut hot = (0u64, 0u64, 0u64, 0u64);
     let mut total_series = 0usize;
     let mut mem = 0usize;
 
@@ -132,11 +140,17 @@ pub fn cluster_flight(
         let stats = node.stats();
         let enq = stats.writeback_enqueued;
         let coal = stats.writeback_coalesced_ops;
+        let hot_copies = obs.registry.gauge("kosha_hot_copies").get();
+        hot.0 += hot_copies.max(0) as u64;
+        hot.1 += stats.hot_pushes;
+        hot.2 += stats.hot_drops;
+        hot.3 += stats.hot_lease_invalidations;
         rows.push(NodeRow {
             addr: node.addr().0,
             fs_ops: stats.fs_ops,
             store_ops: store_ops(&obs),
             replica_reads: stats.replica_reads,
+            hot_copies,
             wb_depth: obs.registry.gauge("kosha_writeback_queue_depth").get(),
             wb_coalesce_x1000: (coal * 1000).checked_div(enq).unwrap_or(0),
             leaf_size: obs.registry.gauge("pastry_leaf_set_size").get(),
@@ -204,6 +218,7 @@ pub fn cluster_flight(
         skew_max_over_mean_x1000: skew,
         skew_gini_x1000: gini,
         heat,
+        hot,
         slo,
         lag_events,
         lag_max_age_nanos: lag_max_age,
@@ -251,15 +266,16 @@ impl FlightReport {
         ));
         out.push('\n');
         out.push_str(
-            "NODE      FSOPS   STOREOPS  REPL.RD  WB.Q  COAL   LEAF  J.LEN  J.DROP  SERIES\n",
+            "NODE      FSOPS   STOREOPS  REPL.RD  HOT  WB.Q  COAL   LEAF  J.LEN  J.DROP  SERIES\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "n{:<8} {:<7} {:<9} {:<8} {:<5} {:<6} {:<5} {:<6} {:<7} {}\n",
+                "n{:<8} {:<7} {:<9} {:<8} {:<4} {:<5} {:<6} {:<5} {:<6} {:<7} {}\n",
                 r.addr,
                 r.fs_ops,
                 r.store_ops,
                 r.replica_reads,
+                r.hot_copies,
                 r.wb_depth,
                 fmt_milli(r.wb_coalesce_x1000),
                 r.leaf_size,
@@ -279,6 +295,10 @@ impl FlightReport {
                 fmt_milli(e.err_milli),
             ));
         }
+        out.push_str(&format!(
+            "hot copies: {} outstanding (pushes {}, drops {}, lease invalidations {})\n",
+            self.hot.0, self.hot.1, self.hot.2, self.hot.3,
+        ));
         out.push('\n');
         out.push_str(&format!(
             "telemetry: journal_drops={} trace_drops={} recorder_drops={} \
@@ -318,7 +338,7 @@ impl FlightReport {
         for (i, r) in self.rows.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"addr\": {}, \"fs_ops\": {}, \"store_ops\": {}, \
-                 \"replica_reads\": {}, \"wb_depth\": {}, \
+                 \"replica_reads\": {}, \"hot_copies\": {}, \"wb_depth\": {}, \
                  \"wb_coalesce_x1000\": {}, \"leaf_size\": {}, \
                  \"journal_len\": {}, \"journal_dropped\": {}, \
                  \"series\": {}}}{}\n",
@@ -326,6 +346,7 @@ impl FlightReport {
                 r.fs_ops,
                 r.store_ops,
                 r.replica_reads,
+                r.hot_copies,
                 r.wb_depth,
                 r.wb_coalesce_x1000,
                 r.leaf_size,
@@ -347,6 +368,11 @@ impl FlightReport {
             ));
         }
         out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"hot\": {{\"copies\": {}, \"pushes\": {}, \"drops\": {}, \
+             \"lease_invalidations\": {}}},\n",
+            self.hot.0, self.hot.1, self.hot.2, self.hot.3,
+        ));
         out.push_str(&format!(
             "  \"telemetry\": {{\"journal_drops\": {}, \"trace_drops\": {}, \
              \"recorder_drops\": {}, \"downsamples\": {}, \"series\": {}, \
@@ -425,6 +451,13 @@ mod tests {
         // The hottest object is the repeatedly-read file.
         assert!(text1.contains("  1. /kosha/proj/f0"), "{text1}");
         assert!(json1.contains("\"key\": \"/kosha/proj/f0\""));
+        // Hot-copy read scaling is off in for_tests() config, so the
+        // panel and JSON report the feature as all-zero.
+        assert!(text1.contains("hot copies: 0 outstanding"), "{text1}");
+        assert!(json1.contains(
+            "\"hot\": {\"copies\": 0, \"pushes\": 0, \"drops\": 0, \
+             \"lease_invalidations\": 0}"
+        ));
         // Rows exist for every node and series were recorded.
         assert_eq!(text1.matches("\nn").count(), 4, "{text1}");
         assert!(json1.contains("\"series\": "));

@@ -46,6 +46,7 @@ pub mod config;
 pub mod control;
 pub mod flight;
 pub mod handles;
+mod hot;
 pub mod mount;
 pub mod node;
 pub mod ops;

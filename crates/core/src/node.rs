@@ -63,6 +63,17 @@ pub struct KoshaNode {
     /// a space-saving sketch) fed by the `/kosha` read path — the input
     /// the ROADMAP's popularity-aware read scaling needs.
     pub(crate) heat: kosha_obs::ReadHeat,
+    /// Primary-side hot-copy ledger (DESIGN.md §16): virtual path → the
+    /// object's outstanding heat-driven cached copies and their lease.
+    /// Empty unless [`KoshaConfig::hot_replicas`] is non-zero.
+    pub(crate) hot: Mutex<BTreeMap<String, crate::hot::HotObject>>,
+    /// Full-push memo: per hosted anchor, the content digest and target
+    /// set of the last fully-acknowledged replica push. Maintenance
+    /// skips the `MigrateBatch` fan-out while both still match — the
+    /// bracket replace would churn holder file identities (and every
+    /// reader's cached replica handles) for nothing. Any mirror/push
+    /// failure clears the memo, so anti-entropy healing still converges.
+    pub(crate) replica_push_memo: Mutex<BTreeMap<String, ([u8; 20], Vec<NodeAddr>)>>,
     /// Keeps the flight-recorder sampler hook alive: the transport holds
     /// only a `Weak`, so the node owns the `Arc` (dropping the node
     /// silently unregisters the hook on both transports).
@@ -168,6 +179,11 @@ impl KoshaNode {
         let lag_gauge = obs.registry.gauge("kosha_replica_lag_markers");
         obs.recorder
             .watch_gauge("kosha_replica_lag_markers", &lag_gauge);
+        // Outstanding heat-driven cached copies pushed by this primary
+        // (DESIGN.md §16), also recorded so the hotspot bench can plot
+        // spawn and decay over time.
+        let hot_gauge = obs.registry.gauge("kosha_hot_copies");
+        obs.recorder.watch_gauge("kosha_hot_copies", &hot_gauge);
         let node = Arc::new(KoshaNode {
             info: pastry.info(),
             nfs: NfsClient::new(Arc::clone(&net), addr).observed(&obs),
@@ -177,6 +193,8 @@ impl KoshaNode {
             trace_seq: std::sync::atomic::AtomicU64::new(0),
             writeback: crate::writeback::WritebackState::new(&obs),
             heat: kosha_obs::ReadHeat::default(),
+            hot: Mutex::new(BTreeMap::new()),
+            replica_push_memo: Mutex::new(BTreeMap::new()),
             _sampler: Arc::clone(&sampler),
             obs,
             cfg,
@@ -263,14 +281,16 @@ impl KoshaNode {
     }
 
     /// Runs periodic maintenance: overlay liveness probes, replica
-    /// refresh for every hosted anchor, and garbage collection of
-    /// replica slots whose owner no longer counts us as a target.
-    /// Simulations call this after failure events, standing in for the
-    /// paper's background daemon activity.
+    /// refresh for every hosted anchor, garbage collection of replica
+    /// slots whose owner no longer counts us as a target, and hot-copy
+    /// lease upkeep (refresh leases still-hot objects, shed cooled
+    /// ones — DESIGN.md §16). Simulations call this after failure
+    /// events, standing in for the paper's background daemon activity.
     pub fn maintain(&self) {
         self.pastry.maintain();
         self.on_leaf_change(None);
         self.gc_replica_slots();
+        self.hot_sweep(true);
     }
 
     /// Point-in-time operational counters for this koshad.

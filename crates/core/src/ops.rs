@@ -173,16 +173,32 @@ impl KoshaNode {
         if targets.is_empty() {
             return None;
         }
+        // Heat-weighted rotor (DESIGN.md §16): a hot object leans harder
+        // on its copy holders — each holder slot repeats once per
+        // threshold-multiple of the object's locally-observed heat, and
+        // at the 4× cap the primary stops taking data-read turns
+        // entirely — while a cold object (or the feature being off)
+        // degenerates to the plain `turn % (targets + 1)` round-robin
+        // this path always used.
         let turn = self
             .read_rr
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            % (targets.len() as u64 + 1);
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let weight = if self.cfg.hot_replicas > 0 && self.cfg.hot_threshold_milli > 0 {
+            let heat = self
+                .heat
+                .heat_milli_of(vpath, self.net.clock().now().0)
+                .unwrap_or(0);
+            1 + (heat / self.cfg.hot_threshold_milli).min(4)
+        } else {
+            1
+        };
+        let turn = crate::hot::heat_rotor_slot(turn, targets.len(), weight) as u64;
         if turn == 0 {
             return None; // the primary's turn
         }
         let lats: Vec<Option<u64>> = targets
             .iter()
-            .map(|&a| self.net.peer_latency_nanos(a))
+            .map(|&a| self.net.peer_latency_nanos(self.info.addr, a))
             .collect();
         let eligible: Vec<NodeAddr> = match lats.iter().flatten().min().copied() {
             None => targets.clone(),
@@ -798,6 +814,10 @@ impl KoshaNode {
         c.handles.forget_subtree(vpath);
         drop(c);
         self.invalidate_dir_subtree(vpath);
+        // A removed object must not squat in the read-heat sketch: its
+        // slot would otherwise pin sketch capacity (and could even keep
+        // spawning hot copies) until enough fresh traffic evicts it.
+        self.heat.forget(vpath);
     }
 }
 

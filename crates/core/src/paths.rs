@@ -60,11 +60,19 @@ pub const MIGRATION_FLAG: &str = "MIGRATION_NOT_COMPLETE";
 /// (DESIGN.md §11).
 pub const LAG_MARK: &str = ".kosha_lag";
 
+/// Name of the hot-copy lease marker a primary stamps at a replica
+/// slot's root when it pushes heat-driven cached copies there. The file
+/// holds one line per leased virtual path, sorted: the path, the
+/// primary's mutation sequence the copy reflects, and the lease expiry
+/// in virtual nanoseconds (DESIGN.md §16). Its presence distinguishes a
+/// leased hot copy from a stale over-replicated slot in audits and GC.
+pub const HOT_MARK: &str = ".kosha_hot";
+
 /// True for names Kosha manages internally and hides from directory
 /// listings.
 #[must_use]
 pub fn is_internal_name(name: &str) -> bool {
-    name == ANCHOR_META || name == MIGRATION_FLAG || name == LAG_MARK
+    name == ANCHOR_META || name == MIGRATION_FLAG || name == LAG_MARK || name == HOT_MARK
 }
 
 /// The routing name of the virtual root anchor.
@@ -208,6 +216,7 @@ mod tests {
         assert!(is_internal_name(".kosha_anchor"));
         assert!(is_internal_name("MIGRATION_NOT_COMPLETE"));
         assert!(is_internal_name(".kosha_lag"));
+        assert!(is_internal_name(".kosha_hot"));
         assert!(!is_internal_name("data.txt"));
     }
 }

@@ -47,7 +47,7 @@ impl KoshaNode {
 
     /// Store path of an arbitrary object: the slot root for a hosted
     /// anchor directory, otherwise an entry within its parent's slot.
-    fn local_object(&self, area: Area, vpath: &str) -> Result<String, NfsStatus> {
+    pub(crate) fn local_object(&self, area: Area, vpath: &str) -> Result<String, NfsStatus> {
         if vpath == "/" || self.hosted(vpath) {
             let anchor = if vpath == "/" { "/" } else { vpath };
             if !self.hosted(anchor) {
@@ -59,14 +59,14 @@ impl KoshaNode {
         Ok(format!("{pdir}/{name}"))
     }
 
-    fn fh_of(&self, store_path: &str) -> Result<Fh, NfsStatus> {
+    pub(crate) fn fh_of(&self, store_path: &str) -> Result<Fh, NfsStatus> {
         self.store
             .with_store(|v| v.resolve(store_path))
             .map(|(id, _)| Fh::from_file_id(id))
             .map_err(Into::into)
     }
 
-    fn apply(&self, req: NfsRequest) -> Result<NfsReply, NfsStatus> {
+    pub(crate) fn apply(&self, req: NfsRequest) -> Result<NfsReply, NfsStatus> {
         self.store.apply(req)
     }
 
@@ -174,6 +174,11 @@ impl KoshaNode {
         if ok {
             return;
         }
+        // A missed mutation (or dropped flush batch) leaves some replica
+        // behind the primary while the primary's own content digest may
+        // not change again — void the full-push memo so the next
+        // maintenance pass re-pushes and heals the divergence.
+        self.replica_push_memo.lock().clear();
         self.stats.replica_mirror_failures.inc();
         self.journal(
             "mirror_failure",
@@ -184,6 +189,15 @@ impl KoshaNode {
     /// Pushes a full, fresh copy of `anchor` to every replica target in
     /// parallel, each as one batched `MigrateBatch` RPC bracketed by the
     /// `MIGRATION_NOT_COMPLETE` flag on the receiving side (§4.4).
+    ///
+    /// The push is skipped when the anchor's content digest and target
+    /// set both match the last fully-acknowledged push (the memo on
+    /// [`KoshaNode::replica_push_memo`]): a no-op bracket replace would
+    /// still destroy and recreate every holder-side file, invalidating
+    /// readers' cached replica handles and putting a full-tree transfer
+    /// on the wire each maintenance tick. The memo is voided by any
+    /// mirror/push failure and by a holder leaving the target set, so
+    /// every divergence source still converges through this path.
     pub(crate) fn ensure_replicas(&self, anchor: &str) {
         if self.cfg.replicas == 0 {
             return;
@@ -196,13 +210,20 @@ impl KoshaNode {
             return;
         }
         let slot_path = slot_local_path(Area::Store, anchor, anchor);
-        let Ok(items) = self
-            .store
-            .with_store(|v| v.export_tree(&slot_path))
-            .map(|v| v.into_iter().map(MigrateItem::from).collect::<Vec<_>>())
-        else {
+        let Ok(exported) = self.store.with_store(|v| v.export_tree(&slot_path)) else {
             return;
         };
+        let digest = crate::audit::tree_digest(&exported);
+        if self
+            .replica_push_memo
+            .lock()
+            .get(anchor)
+            .is_some_and(|(d, t)| *d == digest && *t == targets)
+        {
+            self.stats.replica_push_skips.inc();
+            return;
+        }
+        let items: Vec<MigrateItem> = exported.into_iter().map(MigrateItem::from).collect();
         let req = RpcRequest::new(
             ServiceId::KoshaReplica,
             &KoshaRequest::MigrateBatch {
@@ -211,6 +232,7 @@ impl KoshaNode {
             },
         );
         let clock = self.net.clock();
+        let mut all_ok = true;
         self.obs.tracer.child(
             || "kosha:replica_push".to_string(),
             self.info.addr.0,
@@ -218,15 +240,22 @@ impl KoshaNode {
             || {
                 let batch = targets.iter().map(|a| (*a, req.clone())).collect();
                 let results = self.net.call_many(self.info.addr, batch);
-                for (addr, result) in targets.into_iter().zip(results) {
+                for (addr, result) in targets.iter().zip(results) {
                     let ok = mirror_succeeded(result);
                     if ok {
                         self.stats.replica_pushes.inc();
+                    } else {
+                        all_ok = false;
                     }
-                    self.note_mirror_result(addr, ok);
+                    self.note_mirror_result(*addr, ok);
                 }
             },
         );
+        if all_ok {
+            self.replica_push_memo
+                .lock()
+                .insert(anchor.to_string(), (digest, targets));
+        }
     }
 
     // ---- the replica service (receiving side) -----------------------------
@@ -234,7 +263,7 @@ impl KoshaNode {
     /// Local replica-area directory for `vdir` (creating the chain), the
     /// receiving-side counterpart of the primary's old per-RPC
     /// `mkdir_path` walk.
-    fn replica_dir_local(&self, anchor: &str, vdir: &str) -> Result<Fh, NfsStatus> {
+    pub(crate) fn replica_dir_local(&self, anchor: &str, vdir: &str) -> Result<Fh, NfsStatus> {
         let p = slot_local_path(Area::Replica, anchor, vdir);
         self.store
             .with_store(|v| v.mkdir_p(&p, 0o700))
@@ -242,9 +271,10 @@ impl KoshaNode {
             .map_err(Into::into)
     }
 
-    /// Serves the replica-maintenance service: only the two replica
-    /// requests are valid here, and both touch purely local state (no
-    /// nested RPCs), preserving the transports' deadlock discipline.
+    /// Serves the replica-maintenance service: only replica-area
+    /// requests (mirrored ops, full pushes, and hot-copy push/drop) are
+    /// valid here, and all of them touch purely local state (no nested
+    /// RPCs), preserving the transports' deadlock discipline.
     pub(crate) fn handle_replica(&self, req: KoshaRequest) -> Result<KoshaReply, NfsStatus> {
         match req {
             KoshaRequest::ReplicaApply { op } => {
@@ -265,6 +295,21 @@ impl KoshaNode {
                 self.receive_migrate_batch(&path, &items)?;
                 Ok(KoshaReply::Done)
             }
+            KoshaRequest::HotReplicaPush {
+                anchor,
+                routing,
+                path,
+                seq,
+                expires_nanos,
+                item,
+            } => {
+                self.receive_hot_push(&anchor, &routing, &path, seq, expires_nanos, &item)?;
+                Ok(KoshaReply::Done)
+            }
+            KoshaRequest::HotReplicaDrop { anchor, path } => {
+                self.receive_hot_drop(&anchor, &path)?;
+                Ok(KoshaReply::Done)
+            }
             _ => Err(NfsStatus::NotSupp),
         }
     }
@@ -272,7 +317,7 @@ impl KoshaNode {
     /// Applies one mirrored mutation to the local replica area.
     /// Already-done outcomes (`Exist` on creates, `NoEnt` on removes and
     /// renames) count as success so replays and re-pushes are idempotent.
-    fn apply_replica_op(&self, op: ReplicaOp) -> Result<(), NfsStatus> {
+    pub(crate) fn apply_replica_op(&self, op: ReplicaOp) -> Result<(), NfsStatus> {
         match op {
             ReplicaOp::Mkdir { path } => {
                 let anchor = self.covering_anchor(&path);
@@ -830,6 +875,10 @@ impl KoshaNode {
 
     /// Demotes a hosted anchor to a replica copy (after migrating it).
     fn demote_anchor(&self, anchor: &str) {
+        // Hot-copy leases die with the primaryship: the new owner tracks
+        // its own heat and spawns its own copies if demand persists.
+        self.hot_forget_anchor(anchor);
+        self.replica_push_memo.lock().remove(anchor);
         self.anchors.lock().remove(anchor);
         let slot = anchor_slot(anchor);
         let _ = self.store.with_store(|v| {
@@ -913,7 +962,10 @@ impl KoshaNode {
             }
             let Ok(KoshaReply::Nodes(targets)) = self.control(
                 owner.addr,
-                &KoshaRequest::ReplicaTargetsBySlot { slot: slot.clone() },
+                &KoshaRequest::ReplicaTargetsBySlot {
+                    slot: slot.clone(),
+                    holder: self.info.addr.0,
+                },
             ) else {
                 continue;
             };
@@ -1088,6 +1140,10 @@ impl KoshaNode {
                     offset,
                     data: data.clone(),
                 })?;
+                // Void any hot-copy leases before acknowledging: a
+                // reader fetching targets after this reply must never be
+                // steered to a copy holding pre-write data.
+                self.hot_invalidate(&path);
                 self.mirror_op(ReplicaOp::Write { path, offset, data });
                 Ok(KoshaReply::Done)
             }
@@ -1098,6 +1154,7 @@ impl KoshaNode {
                     fh,
                     sattr: sattr.clone(),
                 })?;
+                self.hot_invalidate(&path);
                 self.mirror_op(ReplicaOp::SetAttr { path, sattr });
                 Ok(KoshaReply::Done)
             }
@@ -1108,6 +1165,9 @@ impl KoshaNode {
                     dir,
                     name: name.clone(),
                 })?;
+                // The object is gone: drop its heat slot and revoke any
+                // hot copies instead of leaving them to decay.
+                self.hot_forget_object(&path);
                 self.mirror_op(ReplicaOp::Remove { path });
                 Ok(KoshaReply::Done)
             }
@@ -1149,6 +1209,7 @@ impl KoshaNode {
                     name: slot.clone(),
                 })?;
                 self.anchors.lock().remove(&path);
+                self.hot_forget_anchor(&path);
                 self.mirror_op(ReplicaOp::RemoveSlot { anchor: path });
                 Ok(KoshaReply::Done)
             }
@@ -1163,6 +1224,10 @@ impl KoshaNode {
                     ddir,
                     dname: tname.clone(),
                 })?;
+                // Hot copies are keyed by path: both the vacated source
+                // and the overwritten destination lose theirs.
+                self.hot_forget_object(&from);
+                self.hot_forget_object(&to);
                 self.mirror_op(ReplicaOp::Rename { from, to });
                 Ok(KoshaReply::Done)
             }
@@ -1366,24 +1431,58 @@ impl KoshaNode {
             // (`ServiceId::KoshaReplica`), not the control service.
             KoshaRequest::MigrateBatch { .. }
             | KoshaRequest::ReplicaApply { .. }
-            | KoshaRequest::ReplicaApplyBatch { .. } => Err(NfsStatus::NotSupp),
+            | KoshaRequest::ReplicaApplyBatch { .. }
+            | KoshaRequest::HotReplicaPush { .. }
+            | KoshaRequest::HotReplicaDrop { .. } => Err(NfsStatus::NotSupp),
             KoshaRequest::ReplicaTargets { path } => {
                 let anchor = self.covering_anchor(&path);
                 if !self.hosted(&anchor) {
                     return Err(NfsStatus::NoEnt);
                 }
-                Ok(KoshaReply::Nodes(self.replica_addrs()))
+                // Every replica-assisted read lands here, so this is
+                // where the primary measures per-object demand — and,
+                // past the heat threshold, where it spawns extra cached
+                // copies and advertises their (valid-lease) holders
+                // alongside the K durable targets (DESIGN.md §16).
+                let mut targets = self.replica_addrs();
+                for a in self.hot_read_extras(&path, &anchor) {
+                    if !targets.contains(&a) {
+                        targets.push(a);
+                    }
+                }
+                Ok(KoshaReply::Nodes(targets))
             }
-            KoshaRequest::ReplicaTargetsBySlot { slot } => {
+            KoshaRequest::ReplicaTargetsBySlot { slot, holder } => {
                 // GC probe: a replica holder only knows the slot name, so
                 // map it back through our hosted-anchor table. `NoEnt`
                 // (we don't host it) tells the holder to keep its copy —
                 // never to drop anything.
-                let hosted = self.anchors.lock().keys().any(|p| anchor_slot(p) == slot);
-                if !hosted {
+                let anchor = self
+                    .anchors
+                    .lock()
+                    .keys()
+                    .find(|p| anchor_slot(p) == slot)
+                    .cloned();
+                let Some(anchor) = anchor else {
                     return Err(NfsStatus::NoEnt);
+                };
+                // Vouch for hot-copy holders too: their slots carry our
+                // anchor meta, and GC must not collect a copy we still
+                // track (orphans — dead or demoted primary — get no such
+                // vouching and age out).
+                let mut targets = self.replica_addrs();
+                for a in self.hot_holders_for_slot(&slot) {
+                    if !targets.contains(&a) {
+                        targets.push(a);
+                    }
                 }
-                Ok(KoshaReply::Nodes(self.replica_addrs()))
+                if !targets.contains(&NodeAddr(holder)) {
+                    // The probing holder is about to drop its copy: void
+                    // the push memo so a later return to the target set
+                    // gets a fresh full push even with content unchanged.
+                    self.replica_push_memo.lock().remove(&anchor);
+                }
+                Ok(KoshaReply::Nodes(targets))
             }
         }
     }

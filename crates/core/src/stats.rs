@@ -36,6 +36,10 @@ pub struct KoshaStats {
     /// Full replica pushes completed to neighbor nodes (§4.2;
     /// `kosha_replica_pushes_total`).
     pub replica_pushes: Arc<Counter>,
+    /// Full replica pushes skipped because the anchor's content digest
+    /// and target set matched the last acknowledged push
+    /// (`kosha_replica_push_skips_total`).
+    pub replica_push_skips: Arc<Counter>,
     /// Anchors pulled from a neighbor's replica area because this node
     /// became owner without holding a copy
     /// (`kosha_replica_pulls_total`).
@@ -78,6 +82,18 @@ pub struct KoshaStats {
     /// target, so the leftover copy was dropped
     /// (`kosha_replica_gc_total`).
     pub replica_gc: Arc<Counter>,
+    /// Heat-driven hot-copy pushes: an object crossed the configured
+    /// heat threshold and the primary placed an extra read-only cached
+    /// copy beyond K (DESIGN.md §16; `kosha_hot_pushes_total`).
+    pub hot_pushes: Arc<Counter>,
+    /// Hot copies dropped: heat decayed below the shed threshold, the
+    /// object was removed, or a holder left the candidate set
+    /// (`kosha_hot_drops_total`).
+    pub hot_drops: Arc<Counter>,
+    /// Lease invalidations: a mutation to a hot object immediately
+    /// voided its outstanding hot-copy leases so no reader can see
+    /// pre-write data (`kosha_hot_lease_invalidations_total`).
+    pub hot_lease_invalidations: Arc<Counter>,
 }
 
 /// A plain-value snapshot of [`KoshaStats`].
@@ -95,6 +111,8 @@ pub struct StatsSnapshot {
     pub migrations_in: u64,
     /// See [`KoshaStats::replica_pushes`].
     pub replica_pushes: u64,
+    /// See [`KoshaStats::replica_push_skips`].
+    pub replica_push_skips: u64,
     /// See [`KoshaStats::replica_pulls`].
     pub replica_pulls: u64,
     /// See [`KoshaStats::redirections`].
@@ -117,6 +135,12 @@ pub struct StatsSnapshot {
     pub replica_lag_events: u64,
     /// See [`KoshaStats::replica_gc`].
     pub replica_gc: u64,
+    /// See [`KoshaStats::hot_pushes`].
+    pub hot_pushes: u64,
+    /// See [`KoshaStats::hot_drops`].
+    pub hot_drops: u64,
+    /// See [`KoshaStats::hot_lease_invalidations`].
+    pub hot_lease_invalidations: u64,
 }
 
 impl KoshaStats {
@@ -137,6 +161,7 @@ impl KoshaStats {
             migrations_out: c("kosha_migrations_out_total"),
             migrations_in: c("kosha_migrations_in_total"),
             replica_pushes: c("kosha_replica_pushes_total"),
+            replica_push_skips: c("kosha_replica_push_skips_total"),
             replica_pulls: c("kosha_replica_pulls_total"),
             redirections: c("kosha_redirections_total"),
             replica_reads: c("kosha_replica_reads_total"),
@@ -148,6 +173,9 @@ impl KoshaStats {
             writeback_coalesced_ops: c("kosha_writeback_coalesced_ops_total"),
             replica_lag_events: c("kosha_replica_lag_total"),
             replica_gc: c("kosha_replica_gc_total"),
+            hot_pushes: c("kosha_hot_pushes_total"),
+            hot_drops: c("kosha_hot_drops_total"),
+            hot_lease_invalidations: c("kosha_hot_lease_invalidations_total"),
         }
     }
 
@@ -161,6 +189,7 @@ impl KoshaStats {
             migrations_out: self.migrations_out.get(),
             migrations_in: self.migrations_in.get(),
             replica_pushes: self.replica_pushes.get(),
+            replica_push_skips: self.replica_push_skips.get(),
             replica_pulls: self.replica_pulls.get(),
             redirections: self.redirections.get(),
             replica_reads: self.replica_reads.get(),
@@ -172,6 +201,9 @@ impl KoshaStats {
             writeback_coalesced_ops: self.writeback_coalesced_ops.get(),
             replica_lag_events: self.replica_lag_events.get(),
             replica_gc: self.replica_gc.get(),
+            hot_pushes: self.hot_pushes.get(),
+            hot_drops: self.hot_drops.get(),
+            hot_lease_invalidations: self.hot_lease_invalidations.get(),
         }
     }
 }

@@ -370,6 +370,12 @@ impl KoshaNode {
         if !targets.is_empty() {
             self.flush_writeback_targets(targets);
         }
+        // The barrier also settles hot-copy leases (DESIGN.md §16):
+        // copies voided by a mutation are re-pushed with fresh payload
+        // (or shed, if the object cooled) once the replicas are caught
+        // up, so close-to-open semantics hold for hot reads too. A no-op
+        // while no hot copies are tracked.
+        self.hot_sweep(false);
     }
 
     /// Drains the given targets' queues: coalesce each, append the lag

@@ -4,7 +4,7 @@
 use kosha::{KoshaConfig, KoshaMount, KoshaNode};
 use kosha_id::node_id_from_seed;
 use kosha_nfs::{NfsError, NfsStatus};
-use kosha_rpc::{LatencyModel, Network, NodeAddr, SimNetwork};
+use kosha_rpc::{Clock, LatencyModel, Network, NodeAddr, SimNetwork};
 use kosha_vfs::FileType;
 use std::sync::Arc;
 
@@ -835,4 +835,150 @@ fn failover_populates_rpc_histograms_and_journal() {
         text.contains("kosha_failovers_total"),
         "exposition missing failover counter:\n{text}"
     );
+}
+
+// ---- heat-driven read scaling (DESIGN.md §16) -----------------------------
+
+fn hot_cfg() -> KoshaConfig {
+    let mut cfg = KoshaConfig::for_tests();
+    cfg.distribution_level = 1;
+    cfg.replicas = 1;
+    cfg.read_from_replicas = true;
+    cfg.hot_replicas = 2;
+    // Three reads of the same object cross the threshold in these tests.
+    cfg.hot_threshold_milli = 3000;
+    cfg
+}
+
+fn hot_copies_total(c: &Cluster) -> i64 {
+    c.nodes
+        .iter()
+        .map(|n| n.obs().registry.gauge("kosha_hot_copies").get())
+        .sum()
+}
+
+fn hot_mark_holders(c: &Cluster) -> usize {
+    let mut holders = 0;
+    for node in &c.nodes {
+        let mut has_mark = false;
+        node.with_store(|v| {
+            v.walk(|p, _| {
+                if p.starts_with("/kosha_replica") && p.ends_with(".kosha_hot") {
+                    has_mark = true;
+                }
+            })
+        });
+        if has_mark {
+            holders += 1;
+        }
+    }
+    holders
+}
+
+#[test]
+fn hot_object_gains_then_sheds_cached_copies() {
+    let c = build_cluster(6, hot_cfg());
+    let m = mount(&c, 0);
+    m.mkdir_p("/zipf").unwrap();
+    m.write_file("/zipf/hot.bin", &[9u8; 2048]).unwrap();
+
+    // A Zipf-style hot spot: the same object read over and over. Past
+    // the heat threshold the primary pushes leased cached copies onto
+    // leaf-set neighbors beyond the K replica targets.
+    for _ in 0..24 {
+        assert_eq!(m.read_file("/zipf/hot.bin").unwrap(), vec![9u8; 2048]);
+    }
+    let pushes: u64 = c.nodes.iter().map(|n| n.stats().hot_pushes).sum();
+    assert!(pushes > 0, "hot spot never spawned a cached copy");
+    assert!(hot_copies_total(&c) > 0, "hot-copy gauge stayed zero");
+    assert!(
+        hot_mark_holders(&c) > 0,
+        "no holder carries a .kosha_hot lease marker"
+    );
+
+    // Leave the object alone far past the heat half-life: maintenance
+    // sheds the cooled copies and the cluster returns to exactly K.
+    c.net
+        .virtual_clock()
+        .advance(std::time::Duration::from_secs(600));
+    for node in &c.nodes {
+        node.maintain();
+    }
+    assert_eq!(hot_copies_total(&c), 0, "copies must shed after cooling");
+    assert_eq!(hot_mark_holders(&c), 0, "lease marker survived shedding");
+    let drops: u64 = c.nodes.iter().map(|n| n.stats().hot_drops).sum();
+    assert!(drops > 0, "shedding must be an explicit revocation");
+    // Re-reads still work (and may heat the object right back up).
+    assert_eq!(m.read_file("/zipf/hot.bin").unwrap(), vec![9u8; 2048]);
+}
+
+#[test]
+fn write_invalidates_hot_leases_and_reads_are_never_stale() {
+    let c = build_cluster(6, hot_cfg());
+    let m = mount(&c, 0);
+    m.mkdir_p("/inv").unwrap();
+    m.write_file("/inv/doc", b"version one").unwrap();
+    for _ in 0..24 {
+        assert_eq!(m.read_file("/inv/doc").unwrap(), b"version one");
+    }
+    let pushes: u64 = c.nodes.iter().map(|n| n.stats().hot_pushes).sum();
+    assert!(
+        pushes > 0,
+        "test needs hot copies in place before the write"
+    );
+
+    // The write voids the copy leases before it is acknowledged...
+    m.write_file("/inv/doc", b"version two").unwrap();
+    let invals: u64 = c
+        .nodes
+        .iter()
+        .map(|n| n.stats().hot_lease_invalidations)
+        .sum();
+    assert!(invals > 0, "write did not void the hot-copy leases");
+
+    // ...so in the window before any refresh, every rotor position must
+    // already serve the new bytes (stale holders are not advertised).
+    for _ in 0..24 {
+        assert_eq!(m.read_file("/inv/doc").unwrap(), b"version two");
+    }
+
+    // After the flush barrier re-pushes fresh payload under a new
+    // lease, reads keep returning the new bytes from every position.
+    c.net.run_pumps();
+    for _ in 0..24 {
+        assert_eq!(m.read_file("/inv/doc").unwrap(), b"version two");
+    }
+}
+
+#[test]
+fn audit_counts_hot_copies_without_flagging_them() {
+    use kosha::{audit_cluster, AuditOptions};
+    let c = build_cluster(6, hot_cfg());
+    let m = mount(&c, 0);
+    m.mkdir_p("/aud").unwrap();
+    m.write_file("/aud/popular", b"everyone reads this")
+        .unwrap();
+    for _ in 0..24 {
+        assert_eq!(m.read_file("/aud/popular").unwrap(), b"everyone reads this");
+    }
+    assert!(hot_copies_total(&c) > 0, "no hot copies to audit");
+
+    let peers: Vec<NodeAddr> = c.nodes.iter().map(|n| n.addr()).collect();
+    let report = audit_cluster(
+        c.net.as_ref(),
+        c.nodes[0].addr(),
+        &peers,
+        c.net.clock().now().0,
+        &AuditOptions::default(),
+    );
+    assert!(report.hot_copies > 0, "audit failed to see the hot slots");
+    assert_eq!(
+        report.over_replicated, 0,
+        "leased hot copies must not read as over-replication"
+    );
+    assert_eq!(
+        report.orphaned_replicas, 0,
+        "leased hot copies must not read as orphans"
+    );
+    assert_eq!(report.objects_divergent, 0, "hot slots must not diverge");
 }

@@ -467,6 +467,30 @@ impl ReadHeat {
         all
     }
 
+    /// Decayed heat of one key in milli-units as of `now_nanos`, or
+    /// `None` if the sketch does not track it. Threshold checks (did
+    /// this object cross the hot-spawn line? has it cooled past the shed
+    /// line?) want a point query, not a full sorted `top` scan.
+    #[must_use]
+    pub fn heat_milli_of(&self, key: &str, now_nanos: u64) -> Option<u64> {
+        let slots = self.slots.lock().expect("heat lock");
+        slots
+            .iter()
+            .find(|s| s.key == key)
+            .map(|s| (self.decayed(s.heat, s.last_t, now_nanos) * 1000.0).round() as u64)
+    }
+
+    /// Drops `key`'s slot, if tracked. Removal of the underlying object
+    /// must not pin a space-saving slot (a deleted file would otherwise
+    /// squat in the sketch until enough fresh heat evicts it), so
+    /// unlink/rmdir paths call this alongside their cache invalidation.
+    pub fn forget(&self, key: &str) {
+        self.slots
+            .lock()
+            .expect("heat lock")
+            .retain(|s| s.key != key);
+    }
+
     /// Total reads observed.
     #[must_use]
     pub fn touches(&self) -> u64 {
@@ -715,6 +739,68 @@ mod tests {
         let top = heat.top(2, 0);
         assert_eq!(top[0].key, "/a");
         assert_eq!(top[1].key, "/b");
+    }
+
+    #[test]
+    fn heat_top_ties_stable_across_insertion_orders() {
+        // Any insertion order of equally-hot keys yields the same top-k:
+        // the heat_milli tie breaks on the key, never on slot position.
+        let keys = ["/m", "/z", "/a", "/q", "/c"];
+        let mut orders: Vec<Vec<&str>> = vec![keys.to_vec()];
+        orders.push(keys.iter().rev().copied().collect());
+        orders.push(vec!["/q", "/a", "/z", "/c", "/m"]);
+        let mut outputs = Vec::new();
+        for order in orders {
+            let heat = ReadHeat::new(u64::MAX / 4, 8);
+            for k in order {
+                heat.touch(k, 0);
+            }
+            outputs.push(heat.top(5, 0));
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for out in &outputs {
+            let got: Vec<&str> = out.iter().map(|e| e.key.as_str()).collect();
+            assert_eq!(got, sorted, "tie order must be key order");
+            assert_eq!(out, &outputs[0], "insertion order leaked into top-k");
+        }
+    }
+
+    #[test]
+    fn heat_top_ties_after_rounding_break_by_key() {
+        // Distinct raw heats that round to the same milli value still
+        // order by key: the comparison runs on the reported integers.
+        let hl = 1_000_000;
+        let heat = ReadHeat::new(hl, 8);
+        heat.touch("/y", 0);
+        heat.touch("/x", 0);
+        // Tiny time skew: decayed heats differ in f64 but both round to
+        // the same heat_milli at the query instant.
+        let top = heat.top(2, 1);
+        assert_eq!(top[0].heat_milli, top[1].heat_milli);
+        assert_eq!(top[0].key, "/x");
+        assert_eq!(top[1].key, "/y");
+    }
+
+    #[test]
+    fn heat_forget_drops_slot_and_frees_capacity() {
+        let heat = ReadHeat::new(u64::MAX / 4, 2);
+        heat.touch("/dead", 0);
+        heat.touch("/dead", 1);
+        heat.touch("/live", 2);
+        heat.forget("/dead");
+        let top = heat.top(2, 2);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].key, "/live");
+        // The freed slot is reusable without an eviction: a newcomer
+        // enters cleanly (err = 0) instead of inheriting stale heat.
+        heat.touch("/next", 3);
+        assert_eq!(heat.evictions(), 0);
+        let top = heat.top(2, 3);
+        assert!(top.iter().any(|e| e.key == "/next" && e.err_milli == 0));
+        // Forgetting an untracked key is a no-op.
+        heat.forget("/ghost");
+        assert_eq!(heat.top(8, 3).len(), 2);
     }
 
     #[test]

@@ -16,12 +16,12 @@
 //! Handles are resolved once at construction; the per-call path is a few
 //! relaxed atomic adds with no locking.
 //!
-//! The smoothed per-peer latency map is additionally published through
-//! the registry as `rpc_peer_latency_ewma_nanos{peer="nNNNNNN"}` gauges
-//! (addresses zero-padded so the registry's sorted render lists peers in
-//! address order), and the per-service inflight/latency/call series are
-//! registered with the domain's flight recorder so samplers can capture
-//! their evolution over time.
+//! The smoothed per-link latency map is additionally published through
+//! the registry as `rpc_peer_latency_ewma_nanos{link="nFFFFFF>nTTTTTT"}`
+//! gauges (addresses zero-padded so the registry's sorted render lists
+//! links in source-then-destination order), and the per-service
+//! inflight/latency/call series are registered with the domain's flight
+//! recorder so samplers can capture their evolution over time.
 
 use crate::network::{NodeAddr, ServiceId};
 use kosha_obs::registry::labeled;
@@ -60,11 +60,21 @@ impl Drop for InflightGuard {
     }
 }
 
-/// One peer's smoothed latency plus its registry gauge (created on the
+/// One link's smoothed latency plus its registry gauge (created on the
 /// first sample, then updated in place with no registry lookup).
 struct PeerLat {
     ewma: u64,
     gauge: Arc<Gauge>,
+}
+
+/// The `link="nFFFFFF>nTTTTTT"` gauge name for one directed link
+/// (addresses zero-padded so the registry's sorted render lists links
+/// in source-then-destination address order).
+fn link_gauge_name(from: NodeAddr, to: NodeAddr) -> String {
+    labeled(
+        "rpc_peer_latency_ewma_nanos",
+        &[("link", &format!("n{:06}>n{:06}", from.0, to.0))],
+    )
 }
 
 /// All per-service handles plus the owning [`Obs`] domain.
@@ -73,11 +83,15 @@ pub(crate) struct NetMetrics {
     per_service: Vec<SvcMetrics>,
     /// Sizes of `call_many` batches (`rpc_fanout_batch_size`).
     pub fanout_batch: Arc<Histogram>,
-    /// Smoothed round-trip latency per destination (EWMA, α = 1/8 like
-    /// TCP's SRTT), fed by every completed call. Backs
+    /// Smoothed round-trip latency per directed `(source, destination)`
+    /// link (EWMA, α = 1/8 like TCP's SRTT), fed by every completed
+    /// call. Keying by link rather than destination alone matters on
+    /// non-uniform networks: node A's calls to C must not color node
+    /// B's estimate of C, or background maintenance traffic from far
+    /// peers would perturb every reader's nearest-replica choice. Backs
     /// [`crate::Network::peer_latency_nanos`] for latency-aware replica
-    /// selection, and is mirrored into per-peer registry gauges.
-    peer_latency: RwLock<HashMap<u64, PeerLat>>,
+    /// selection, and is mirrored into per-link registry gauges.
+    peer_latency: RwLock<HashMap<(u64, u64), PeerLat>>,
 }
 
 impl NetMetrics {
@@ -134,47 +148,55 @@ impl NetMetrics {
         m
     }
 
-    /// Folds one completed round trip into the destination's EWMA and
-    /// mirrors the new estimate into the peer's registry gauge.
-    pub fn note_peer_latency(&self, to: NodeAddr, nanos: u64) {
+    /// Folds one completed round trip into the link's EWMA and mirrors
+    /// the new estimate into the link's registry gauge.
+    pub fn note_peer_latency(&self, from: NodeAddr, to: NodeAddr, nanos: u64) {
         let mut m = self.peer_latency.write();
-        match m.get_mut(&to.0) {
+        match m.get_mut(&(from.0, to.0)) {
             Some(p) => {
                 p.ewma = (p.ewma * 7 + nanos) / 8;
                 p.gauge.set(p.ewma as i64);
             }
             None => {
-                // Zero-padded address label: the registry renders in
-                // sorted name order, so padding makes that address order.
-                let name = labeled(
-                    "rpc_peer_latency_ewma_nanos",
-                    &[("peer", &format!("n{:06}", to.0))],
-                );
+                let name = link_gauge_name(from, to);
                 let gauge = self.obs.registry.gauge(&name);
                 gauge.set(nanos as i64);
                 self.obs.recorder.watch_gauge(&name, &gauge);
-                m.insert(to.0, PeerLat { ewma: nanos, gauge });
+                m.insert((from.0, to.0), PeerLat { ewma: nanos, gauge });
             }
         }
     }
 
-    /// The destination's smoothed latency, if any traffic was observed.
-    pub fn peer_latency(&self, to: NodeAddr) -> Option<u64> {
-        self.peer_latency.read().get(&to.0).map(|p| p.ewma)
+    /// The link's smoothed latency as observed by `from`'s own
+    /// completed calls, if it has made any.
+    pub fn peer_latency(&self, from: NodeAddr, to: NodeAddr) -> Option<u64> {
+        self.peer_latency
+            .read()
+            .get(&(from.0, to.0))
+            .map(|p| p.ewma)
     }
 
-    /// Retires a departed peer's latency state: drops its EWMA entry,
-    /// its `rpc_peer_latency_ewma_nanos{peer=...}` registry gauge, and
-    /// the matching flight-recorder source/series. Called on transport
-    /// `detach`; without it the per-peer label set grows without bound
-    /// under churn and exhausts the recorder's series budget.
-    pub fn prune_peer(&self, to: NodeAddr) {
-        let had = self.peer_latency.write().remove(&to.0).is_some();
-        if had {
-            let name = labeled(
-                "rpc_peer_latency_ewma_nanos",
-                &[("peer", &format!("n{:06}", to.0))],
-            );
+    /// Retires a departed peer's latency state: drops every link EWMA
+    /// touching it (as source or destination), the matching
+    /// `rpc_peer_latency_ewma_nanos{link=...}` registry gauges, and the
+    /// flight-recorder sources/series. Called on transport `detach`;
+    /// without it the per-link label set grows without bound under
+    /// churn and exhausts the recorder's series budget.
+    pub fn prune_peer(&self, addr: NodeAddr) {
+        let removed: Vec<(u64, u64)> = {
+            let mut m = self.peer_latency.write();
+            let keys: Vec<(u64, u64)> = m
+                .keys()
+                .filter(|(f, t)| *f == addr.0 || *t == addr.0)
+                .copied()
+                .collect();
+            for k in &keys {
+                m.remove(k);
+            }
+            keys
+        };
+        for (f, t) in removed {
+            let name = link_gauge_name(NodeAddr(f), NodeAddr(t));
             self.obs.registry.remove(&name);
             self.obs.recorder.forget(&name);
         }
@@ -245,34 +267,54 @@ mod tests {
     #[test]
     fn peer_latency_ewma_smooths() {
         let m = NetMetrics::new();
+        let from = NodeAddr(1);
         let to = NodeAddr(5);
-        assert_eq!(m.peer_latency(to), None);
-        m.note_peer_latency(to, 800);
-        assert_eq!(m.peer_latency(to), Some(800));
-        m.note_peer_latency(to, 0);
+        assert_eq!(m.peer_latency(from, to), None);
+        m.note_peer_latency(from, to, 800);
+        assert_eq!(m.peer_latency(from, to), Some(800));
+        m.note_peer_latency(from, to, 0);
         // One zero sample drags the estimate down by 1/8th.
-        assert_eq!(m.peer_latency(to), Some(700));
-        assert_eq!(m.peer_latency(NodeAddr(6)), None);
+        assert_eq!(m.peer_latency(from, to), Some(700));
+        assert_eq!(m.peer_latency(from, NodeAddr(6)), None);
+        // The reverse direction is a distinct link.
+        assert_eq!(m.peer_latency(to, from), None);
+    }
+
+    #[test]
+    fn peer_latency_is_per_source_link() {
+        let m = NetMetrics::new();
+        let c = NodeAddr(3);
+        // A sits next to C, B is far away: B's slow calls must not
+        // disturb A's estimate of C, or background traffic would
+        // corrupt every reader's nearest-replica pick.
+        m.note_peer_latency(NodeAddr(1), c, 100);
+        m.note_peer_latency(NodeAddr(2), c, 9_000);
+        assert_eq!(m.peer_latency(NodeAddr(1), c), Some(100));
+        assert_eq!(m.peer_latency(NodeAddr(2), c), Some(9_000));
     }
 
     #[test]
     fn peer_latency_is_exposed_as_sorted_gauges() {
         let m = NetMetrics::new();
+        let from = NodeAddr(1);
         // Insert out of address order; the render must sort by address.
-        m.note_peer_latency(NodeAddr(20), 900);
-        m.note_peer_latency(NodeAddr(3), 500);
-        m.note_peer_latency(NodeAddr(100), 700);
-        m.note_peer_latency(NodeAddr(3), 500); // EWMA steady state
+        m.note_peer_latency(from, NodeAddr(20), 900);
+        m.note_peer_latency(from, NodeAddr(3), 500);
+        m.note_peer_latency(from, NodeAddr(100), 700);
+        m.note_peer_latency(from, NodeAddr(3), 500); // EWMA steady state
         let reg = &m.obs().registry;
         assert_eq!(
-            reg.gauge("rpc_peer_latency_ewma_nanos{peer=\"n000003\"}")
+            reg.gauge("rpc_peer_latency_ewma_nanos{link=\"n000001>n000003\"}")
                 .get(),
             500
         );
         let text = reg.render();
         let pos: Vec<usize> = ["n000003", "n000020", "n000100"]
             .iter()
-            .map(|p| text.find(&format!("peer=\"{p}\"")).expect("peer gauge"))
+            .map(|p| {
+                text.find(&format!("link=\"n000001>{p}\""))
+                    .expect("link gauge")
+            })
             .collect();
         assert!(pos[0] < pos[1] && pos[1] < pos[2], "{text}");
         // The EWMA is also a recorder source: one tick → one point.
@@ -280,7 +322,7 @@ mod tests {
         assert_eq!(
             m.obs()
                 .recorder
-                .last("rpc_peer_latency_ewma_nanos{peer=\"n000020\"}"),
+                .last("rpc_peer_latency_ewma_nanos{link=\"n000001>n000020\"}"),
             Some((42, 900))
         );
     }
@@ -288,30 +330,36 @@ mod tests {
     #[test]
     fn prune_peer_retires_gauge_ewma_and_recorder_series() {
         let m = NetMetrics::new();
-        m.note_peer_latency(NodeAddr(7), 400);
-        m.note_peer_latency(NodeAddr(8), 600);
+        m.note_peer_latency(NodeAddr(1), NodeAddr(7), 400);
+        m.note_peer_latency(NodeAddr(7), NodeAddr(8), 500);
+        m.note_peer_latency(NodeAddr(1), NodeAddr(8), 600);
         m.obs().recorder.sample_all(1);
-        let name7 = "rpc_peer_latency_ewma_nanos{peer=\"n000007\"}";
+        let name7 = "rpc_peer_latency_ewma_nanos{link=\"n000001>n000007\"}";
+        let name78 = "rpc_peer_latency_ewma_nanos{link=\"n000007>n000008\"}";
         assert!(m.obs().recorder.series(name7).is_some());
 
+        // Pruning peer 7 drops links where it is source OR destination.
         m.prune_peer(NodeAddr(7));
-        assert_eq!(m.peer_latency(NodeAddr(7)), None);
-        assert!(
-            !m.obs().registry.names().iter().any(|n| n == name7),
-            "gauge must leave the exposition"
-        );
-        assert!(m.obs().recorder.series(name7).is_none());
+        assert_eq!(m.peer_latency(NodeAddr(1), NodeAddr(7)), None);
+        assert_eq!(m.peer_latency(NodeAddr(7), NodeAddr(8)), None);
+        for name in [name7, name78] {
+            assert!(
+                !m.obs().registry.names().iter().any(|n| n == name),
+                "gauge must leave the exposition"
+            );
+            assert!(m.obs().recorder.series(name).is_none());
+        }
         // Ticking again must not resurrect the pruned series.
         m.obs().recorder.sample_all(2);
         assert!(m.obs().recorder.series(name7).is_none());
-        // The surviving peer is untouched, and pruning counts no drops.
-        assert_eq!(m.peer_latency(NodeAddr(8)), Some(600));
+        // The surviving link is untouched, and pruning counts no drops.
+        assert_eq!(m.peer_latency(NodeAddr(1), NodeAddr(8)), Some(600));
         assert_eq!(m.obs().recorder.dropped(), 0);
         // Pruning an unknown peer is a no-op.
         m.prune_peer(NodeAddr(99));
         // A returning peer re-registers cleanly from scratch.
-        m.note_peer_latency(NodeAddr(7), 1000);
-        assert_eq!(m.peer_latency(NodeAddr(7)), Some(1000));
+        m.note_peer_latency(NodeAddr(1), NodeAddr(7), 1000);
+        assert_eq!(m.peer_latency(NodeAddr(1), NodeAddr(7)), Some(1000));
         m.obs().recorder.sample_all(3);
         assert_eq!(m.obs().recorder.last(name7), Some((3, 1000)));
     }

@@ -502,7 +502,7 @@ impl SimNetwork {
             svc.latency.record(elapsed);
             // A full timeout feeds the EWMA too: dead or flaky targets
             // look slow, steering replica reads elsewhere.
-            self.metrics.note_peer_latency(to, elapsed);
+            self.metrics.note_peer_latency(from, to, elapsed);
             return Err(RpcError::Unreachable(to));
         };
 
@@ -517,7 +517,7 @@ impl SimNetwork {
             }
             let elapsed = self.clock.now().since_nanos(start);
             svc.latency.record(elapsed);
-            self.metrics.note_peer_latency(to, elapsed);
+            self.metrics.note_peer_latency(from, to, elapsed);
             return result;
         }
 
@@ -548,7 +548,7 @@ impl SimNetwork {
         }
         let elapsed = self.clock.now().since_nanos(start);
         svc.latency.record(elapsed);
-        self.metrics.note_peer_latency(to, elapsed);
+        self.metrics.note_peer_latency(from, to, elapsed);
         result
     }
 }
@@ -644,8 +644,8 @@ impl Network for SimNetwork {
         false
     }
 
-    fn peer_latency_nanos(&self, to: NodeAddr) -> Option<u64> {
-        self.metrics.peer_latency(to)
+    fn peer_latency_nanos(&self, from: NodeAddr, to: NodeAddr) -> Option<u64> {
+        self.metrics.peer_latency(from, to)
     }
 }
 
@@ -687,7 +687,7 @@ mod tests {
                 .unwrap();
             net.obs().recorder.sample_all(gen);
             net.detach(addr);
-            assert_eq!(net.peer_latency_nanos(addr), None);
+            assert_eq!(net.peer_latency_nanos(NodeAddr(1), addr), None);
         }
         let obs = net.obs();
         let peers = |v: Vec<String>| {

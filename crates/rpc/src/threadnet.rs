@@ -555,7 +555,7 @@ impl ThreadedNetwork {
             }
             let elapsed = clock.now().since_nanos(start);
             svc.latency.record(elapsed);
-            metrics.note_peer_latency(to, elapsed);
+            metrics.note_peer_latency(from, to, elapsed);
             result
         }))
     }
@@ -749,8 +749,8 @@ impl Network for ThreadedNetwork {
         true
     }
 
-    fn peer_latency_nanos(&self, to: NodeAddr) -> Option<u64> {
-        self.metrics.peer_latency(to)
+    fn peer_latency_nanos(&self, from: NodeAddr, to: NodeAddr) -> Option<u64> {
+        self.metrics.peer_latency(from, to)
     }
 }
 
