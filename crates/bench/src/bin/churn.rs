@@ -68,7 +68,6 @@ fn main() {
     );
 
     let json = report.to_json();
-    // lint: allow(L003) bench binary's own output file, not a server handler
     std::fs::write("BENCH_churn.json", format!("{json}\n")).expect("write BENCH_churn.json");
 
     if json_only {

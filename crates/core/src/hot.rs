@@ -217,6 +217,7 @@ impl KoshaNode {
 
     /// Fans one `HotReplicaPush` out to `targets`, returning the subset
     /// that accepted the copy. Counts each success as a hot push.
+    #[allow(clippy::too_many_arguments)]
     fn hot_push_to(
         &self,
         targets: &[NodeAddr],

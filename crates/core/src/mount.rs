@@ -46,6 +46,7 @@ pub struct KoshaMount {
     koshad: NodeAddr,
     root: Fh,
     /// Directory-handle cache (the kernel NFS client's dcache analogue).
+    // lint: allow(L008) client-session cache: lives only as long as one mount and is invalidated on mutations, not node state
     dcache: Mutex<HashMap<String, Fh>>,
     /// Default identity for operations.
     uid: u32,

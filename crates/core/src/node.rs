@@ -15,6 +15,10 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Weak};
 
+/// Per-anchor memo of the last fully-acknowledged replica push: content
+/// digest and the target set it was acked by.
+pub(crate) type PushMemo = BTreeMap<String, ([u8; 20], Vec<NodeAddr>)>;
+
 /// Client-side (interposition) state: the virtual handle table and the
 /// resolution caches.
 pub(crate) struct ClientState {
@@ -73,7 +77,7 @@ pub struct KoshaNode {
     /// bracket replace would churn holder file identities (and every
     /// reader's cached replica handles) for nothing. Any mirror/push
     /// failure clears the memo, so anti-entropy healing still converges.
-    pub(crate) replica_push_memo: Mutex<BTreeMap<String, ([u8; 20], Vec<NodeAddr>)>>,
+    pub(crate) replica_push_memo: Mutex<PushMemo>,
     /// Keeps the flight-recorder sampler hook alive: the transport holds
     /// only a `Weak`, so the node owns the `Arc` (dropping the node
     /// silently unregisters the hook on both transports).
@@ -291,6 +295,17 @@ impl KoshaNode {
         self.on_leaf_change(None);
         self.gc_replica_slots();
         self.hot_sweep(true);
+        // Drop cached export-root handles for peers the overlay no longer
+        // knows. A departed node's handle is dead weight, and a revived
+        // node purges its Kosha data (§4.3) and re-exports, so a stale
+        // entry would dangle anyway — without this, churn grows the
+        // per-peer cache without bound.
+        let known: std::collections::HashSet<NodeAddr> =
+            self.pastry.known_nodes().iter().map(|n| n.addr).collect();
+        self.client
+            .lock()
+            .root_cache
+            .retain(|addr, _| known.contains(addr));
     }
 
     /// Point-in-time operational counters for this koshad.

@@ -47,6 +47,7 @@ struct TargetQueue {
     /// Payload bytes queued (WRITE data only) — the lag lower bound.
     bytes: u64,
     /// Anchors whose replica slot carries a lag marker for this window.
+    // lint: allow(L008) bounded by the flush cycle: the whole TargetQueue (marked included) is consumed on flush
     marked: HashSet<String>,
 }
 
@@ -473,6 +474,7 @@ impl KoshaNode {
 }
 
 impl PumpHook for KoshaNode {
+    // lint: allow(L005) timer-driven flush: runs on the pump thread outside any handler mailbox; mirror/lease fan-out here is the write-behind design
     fn pump(&self) {
         self.flush_replication();
     }

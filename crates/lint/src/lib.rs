@@ -25,15 +25,35 @@
 //!   disagrees: the encoder writes fields in one order and the decoder
 //!   reads them in another, which corrupts every frame of that type.
 //!
+//! A second, call-graph-aware phase (see [`graph`]) builds a
+//! per-function view of the whole workspace and runs four more rules:
+//!
+//! * **L005** — a blocking RPC transitively reachable from a
+//!   server-handler or pump entry point through any chain of helpers.
+//! * **L006** — wire-tag registry: duplicate tags, encode/decode
+//!   tag-set mismatches, and decode dispatches without an unknown-tag
+//!   arm in `WireWrite`/`WireRead` pairs.
+//! * **L007** — must-call-before invariants (seeded with the hot-lease
+//!   rule: mutations void leases before the mirror fan-out).
+//! * **L008** — long-lived map/set fields that grow but have no prune
+//!   path reachable from the maintenance/cleanup roots.
+//!
 //! False positives are silenced in place with a justification comment:
 //! `// lint: allow(L00x) <why>` on the offending line or the line above.
-//! The scanner works on sanitized source (comments and string literals
-//! blanked, line structure preserved), so patterns inside strings, docs,
-//! or `#[cfg(test)]` modules are never flagged.
+//! A suppression that silences nothing is itself reported (and fails CI
+//! under `--deny-unused-allow`), so stale waivers can't mask future
+//! regressions. The scanner works on sanitized source (comments and
+//! string literals blanked, line structure preserved), so patterns
+//! inside strings, docs, or `#[cfg(test)]` modules are never flagged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod graph;
+
+pub use graph::MustCallBefore;
+
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -48,11 +68,28 @@ pub enum Rule {
     L003,
     /// Wire encode/decode field-order asymmetry.
     L004,
+    /// Blocking RPC transitively reachable from a handler/pump entry.
+    L005,
+    /// Wire-tag registry: duplicates, enc/dec mismatch, missing catch-all.
+    L006,
+    /// Must-call-before invariant violated (e.g. lease void before mirror).
+    L007,
+    /// Growable map/set field with no prune path from cleanup roots.
+    L008,
 }
 
 impl Rule {
     /// All rules, in id order.
-    pub const ALL: [Rule; 4] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004];
+    pub const ALL: [Rule; 8] = [
+        Rule::L001,
+        Rule::L002,
+        Rule::L003,
+        Rule::L004,
+        Rule::L005,
+        Rule::L006,
+        Rule::L007,
+        Rule::L008,
+    ];
 
     /// Stable rule id (`"L001"`…).
     #[must_use]
@@ -62,6 +99,10 @@ impl Rule {
             Rule::L002 => "L002",
             Rule::L003 => "L003",
             Rule::L004 => "L004",
+            Rule::L005 => "L005",
+            Rule::L006 => "L006",
+            Rule::L007 => "L007",
+            Rule::L008 => "L008",
         }
     }
 
@@ -73,6 +114,112 @@ impl Rule {
             Rule::L002 => "nondeterminism source outside allowlisted clock/transport modules",
             Rule::L003 => "unwrap()/expect()/panic! inside an RPC/NFS server-handler module",
             Rule::L004 => "Wire encode/decode field order asymmetry",
+            Rule::L005 => "blocking RPC reachable from a server-handler/pump entry point",
+            Rule::L006 => "wire-tag registry: duplicate/mismatched tags or missing catch-all",
+            Rule::L007 => "must-call-before invariant violated (lease void before mirror)",
+            Rule::L008 => "growable map/set field with no prune path from cleanup roots",
+        }
+    }
+
+    /// Long-form documentation for `--explain L00x`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L001 => {
+                "L001 — lock guard held across a blocking RPC\n\n\
+                 A `.lock()`/`.read()`/`.write()` guard that is still live when a\n\
+                 `.call(` / `.call_many(` / `call_typed(` is issued. On ThreadedNetwork\n\
+                 the callee may need the same lock via a nested RPC (deadlock); on\n\
+                 SimNetwork it hides the hazard. Drop the guard, or clone the data\n\
+                 out, before calling. Scope: one function body (L005 covers the\n\
+                 transitive case).\n\n\
+                 Waive: `// lint: allow(L001) <why>` on the call line."
+            }
+            Rule::L002 => {
+                "L002 — nondeterminism source outside allowlisted modules\n\n\
+                 `SystemTime::now` / `Instant::now` / `thread::sleep`, or iteration\n\
+                 over a HashMap/HashSet whose order reaches behavior. These leak\n\
+                 scheduler or hash-seed order into output and break the BENCH_*\n\
+                 byte-identical double-run CI gates. Use the transport clock and\n\
+                 BTree collections (or sort before use). Order-insensitive folds\n\
+                 (.count(), .sum(), .max()…) are recognized and not flagged.\n\n\
+                 Waive: `// lint: allow(L002) <why>`."
+            }
+            Rule::L003 => {
+                "L003 — panic path inside a server-handler module\n\n\
+                 `unwrap()` / `expect(` / `panic!` in a module with an\n\
+                 `impl RpcHandler` (or a configured dispatch helper). Under\n\
+                 ThreadedNetwork a handler panic kills the service's mailbox thread\n\
+                 silently: the node looks alive while one service is gone. Return a\n\
+                 protocol error instead.\n\n\
+                 Waive: `// lint: allow(L003) <why>`."
+            }
+            Rule::L004 => {
+                "L004 — Wire encode/decode field-order asymmetry\n\n\
+                 A `WireWrite`/`WireRead` impl pair for the same type whose field\n\
+                 order disagrees: the encoder writes [a, b] but the decoder reads\n\
+                 [b, a], corrupting every frame of that type. Field order is\n\
+                 compared over the fields both sides mention.\n\n\
+                 Waive: `// lint: allow(L004) <why>` above the WireWrite impl."
+            }
+            Rule::L005 => {
+                "L005 — blocking RPC reachable from a handler/pump entry point\n\n\
+                 Entry points are every function in an `impl RpcHandler for …` or\n\
+                 `impl PumpHook for …` block, plus configured extra roots\n\
+                 (handle_replica, audit_scan). The analyzer builds the workspace\n\
+                 call graph — `self.f(` resolves to the caller's own impl type\n\
+                 first — and flags any `.call(` / `.call_many(` / `call_typed(`\n\
+                 reachable from an entry. The replica-service discipline requires\n\
+                 handlers to be leaf functions: a handler that blocks on another\n\
+                 node's service while its own mailbox is occupied is one half of a\n\
+                 distributed deadlock cycle (the PR 7 actor-ownership inversion).\n\n\
+                 Waive at three granularities, most specific first:\n\
+                 - the RPC line: that one sink is accepted;\n\
+                 - a call line: traversal through that hand-off edge stops\n\
+                   (\"callee verified leaf-safe / runs after the handler returns\");\n\
+                 - the entry's `fn` line: the whole entry is a designed nesting\n\
+                   level (e.g. the control service calling leaf replica services)."
+            }
+            Rule::L006 => {
+                "L006 — wire-tag registry\n\n\
+                 For each `WireWrite`/`WireRead` pair that writes two or more\n\
+                 distinct `w.u8(<literal>)` tags, the tag sets must agree:\n\
+                 duplicate encode tags (two variants claiming one wire tag),\n\
+                 encoded tags with no decode arm (those frames are rejected by\n\
+                 peers), decode arms never encoded (dead dispatch), duplicate\n\
+                 decode arms (unreachable), and a decode dispatch without an\n\
+                 unknown-tag catch-all arm (a frame from a newer peer would panic\n\
+                 instead of failing with a wire error) are all flagged.\n\n\
+                 Waive: `// lint: allow(L006) <why>` at the reported line."
+            }
+            Rule::L007 => {
+                "L007 — must-call-before invariant\n\n\
+                 A configurable ordering engine: every function named P in a\n\
+                 configured file must call one of {A…} before B within the same\n\
+                 innermost block (a match arm, typically). Seeded with the\n\
+                 hot-copy lease rule from the heat-driven replica layer: every\n\
+                 mutation arm of `handle_control` in primary.rs must void hot\n\
+                 leases (hot_invalidate / hot_forget_object / hot_forget_anchor)\n\
+                 before the mirror fan-out `mirror_op`, otherwise a stale hot copy\n\
+                 can serve reads after the mutation acks.\n\n\
+                 Waive: `// lint: allow(L007) <why>` on the B-call line — e.g. the\n\
+                 create-family arms, where a freshly created name has no hot\n\
+                 copies to void."
+            }
+            Rule::L008 => {
+                "L008 — unbounded state growth\n\n\
+                 A struct field of map/set type (HashMap/HashSet/BTreeMap/BTreeSet,\n\
+                 possibly wrapped in Mutex/RwLock) with at least one insert site\n\
+                 but no remove/retain/clear/drain site in any function reachable\n\
+                 from the cleanup roots (maintain, forget*, detach, leave,\n\
+                 prune_peer), and no self-bounding eviction co-located with an\n\
+                 insert. This is the leak class fixed by hand in PRs 8–9\n\
+                 (replica-slot GC, per-link EWMA prune): under churn the structure\n\
+                 grows for the life of the node.\n\n\
+                 Fix by pruning from maintenance, or bound the structure at the\n\
+                 insert site. Waive: `// lint: allow(L008) <why>` on the field\n\
+                 declaration line."
+            }
         }
     }
 }
@@ -119,6 +266,16 @@ pub struct Config {
     /// Path suffixes that count as server-handler modules for L003 even
     /// if the `impl RpcHandler` lives elsewhere (dispatch helpers).
     pub l003_extra_suffixes: Vec<String>,
+    /// Trait names whose impl-block functions are L005 entry points.
+    pub l005_entry_traits: Vec<String>,
+    /// Function names that are L005 entry points regardless of trait
+    /// (dispatch helpers reached from handlers in other crates).
+    pub l005_extra_roots: Vec<String>,
+    /// The must-call-before invariants L007 enforces.
+    pub l007_rules: Vec<MustCallBefore>,
+    /// Function names that count as cleanup/maintenance roots for L008:
+    /// a prune site reachable from any of these bounds the structure.
+    pub l008_cleanup_roots: Vec<String>,
 }
 
 impl Default for Config {
@@ -136,6 +293,38 @@ impl Default for Config {
                 // ControlService handler in primary.rs.
                 "core/src/control.rs".into(),
             ],
+            l005_entry_traits: vec!["RpcHandler".into(), "PumpHook".into()],
+            l005_extra_roots: vec![
+                // Replica-service body: dispatched from ReplicaService's
+                // RpcHandler impl and required to stay a leaf.
+                "handle_replica".into(),
+                // Anti-entropy audit handler body (PR 8's local-state-only
+                // rule, now machine-checked).
+                "audit_scan".into(),
+            ],
+            l007_rules: vec![MustCallBefore {
+                file_suffix: "core/src/primary.rs".into(),
+                scope_fn: "handle_control".into(),
+                before: vec![
+                    "hot_invalidate".into(),
+                    "hot_forget_object".into(),
+                    "hot_forget_anchor".into(),
+                ],
+                target: "mirror_op".into(),
+                why: "a mutation must void hot-copy leases before the mirror \
+                      fan-out acks, or a stale hot copy can serve reads after \
+                      the write completes"
+                    .into(),
+            }],
+            l008_cleanup_roots: vec![
+                "maintain".into(),
+                "forget".into(),
+                "forget_path".into(),
+                "forget_subtree".into(),
+                "detach".into(),
+                "leave".into(),
+                "prune_peer".into(),
+            ],
         }
     }
 }
@@ -151,9 +340,18 @@ pub struct Sanitized {
     /// `// lint: allow(L00x)` comment suppresses its own line and the
     /// following line, so it works both trailing and standalone.
     pub allow: BTreeMap<usize, BTreeSet<Rule>>,
+    /// The comment lines the suppressions came from, keyed by the line
+    /// the `lint: allow(...)` comment sits on. Used to report stale
+    /// waivers that no longer silence anything.
+    pub allow_sites: BTreeMap<usize, BTreeSet<Rule>>,
 }
 
-fn parse_allow(comment: &str, line: usize, allow: &mut BTreeMap<usize, BTreeSet<Rule>>) {
+fn parse_allow(
+    comment: &str,
+    line: usize,
+    allow: &mut BTreeMap<usize, BTreeSet<Rule>>,
+    sites: &mut BTreeMap<usize, BTreeSet<Rule>>,
+) {
     let Some(pos) = comment.find("lint: allow(") else {
         return;
     };
@@ -164,6 +362,7 @@ fn parse_allow(comment: &str, line: usize, allow: &mut BTreeMap<usize, BTreeSet<
         let Some(rule) = Rule::ALL.iter().find(|r| r.id() == tok) else {
             continue;
         };
+        sites.entry(line).or_default().insert(*rule);
         for l in [line, line + 1] {
             allow.entry(l).or_default().insert(*rule);
         }
@@ -186,6 +385,7 @@ pub fn sanitize(src: &str) -> Sanitized {
     let bytes = src.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut allow = BTreeMap::new();
+    let mut allow_sites = BTreeMap::new();
     let mut st = St::Code;
     let mut line = 1usize;
     let mut comment = String::new();
@@ -195,7 +395,7 @@ pub fn sanitize(src: &str) -> Sanitized {
         let b = bytes[i];
         if b == b'\n' {
             if st == St::LineComment {
-                parse_allow(&comment, comment_line, &mut allow);
+                parse_allow(&comment, comment_line, &mut allow, &mut allow_sites);
                 comment.clear();
                 st = St::Code;
             }
@@ -277,7 +477,7 @@ pub fn sanitize(src: &str) -> Sanitized {
                     out.extend_from_slice(b"  ");
                     i += 2;
                     if depth == 1 {
-                        parse_allow(&comment, comment_line, &mut allow);
+                        parse_allow(&comment, comment_line, &mut allow, &mut allow_sites);
                         comment.clear();
                         st = St::Code;
                     } else {
@@ -295,7 +495,15 @@ pub fn sanitize(src: &str) -> Sanitized {
             }
             St::Str => {
                 if b == b'\\' {
-                    out.extend_from_slice(b"  ");
+                    // A `\<newline>` continuation must keep the newline, or
+                    // every later line number in the file shifts by one.
+                    out.push(b' ');
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        out.push(b'\n');
+                        line += 1;
+                    } else {
+                        out.push(b' ');
+                    }
                     i += 2;
                     if i > bytes.len() {
                         break;
@@ -348,11 +556,12 @@ pub fn sanitize(src: &str) -> Sanitized {
         }
     }
     if st == St::LineComment {
-        parse_allow(&comment, comment_line, &mut allow);
+        parse_allow(&comment, comment_line, &mut allow, &mut allow_sites);
     }
     Sanitized {
         text: String::from_utf8_lossy(&out).into_owned(),
         allow,
+        allow_sites,
     }
 }
 
@@ -443,24 +652,60 @@ fn find_all(text: &str, pat: &str) -> Vec<usize> {
     out
 }
 
-struct FileCtx<'a> {
-    path: &'a str,
-    text: &'a str,
+pub(crate) struct FileCtx<'a> {
+    pub(crate) path: &'a str,
+    pub(crate) text: &'a str,
     allow: &'a BTreeMap<usize, BTreeSet<Rule>>,
+    allow_sites: &'a BTreeMap<usize, BTreeSet<Rule>>,
     test_mask: &'a [bool],
+    /// Suppression sites that actually silenced something this run
+    /// (comment line, rule) — the complement is reported as stale.
+    used_allow: RefCell<BTreeSet<(usize, Rule)>>,
 }
 
 impl FileCtx<'_> {
-    fn suppressed(&self, rule: Rule, line: usize) -> bool {
-        if *self.test_mask.get(line).unwrap_or(&false) {
-            return true;
-        }
-        self.allow
-            .get(&line)
-            .is_some_and(|rules| rules.contains(&rule))
+    pub(crate) fn in_test(&self, line: usize) -> bool {
+        *self.test_mask.get(line).unwrap_or(&false)
     }
 
-    fn emit(&self, out: &mut Vec<Finding>, rule: Rule, line: usize, message: String) {
+    /// An allow at effect line `line` came from a comment on `line` or
+    /// `line - 1`; mark every candidate site used (adjacent same-rule
+    /// comments are rare enough that over-marking beats a false stale).
+    fn mark_used(&self, rule: Rule, line: usize) {
+        let mut used = self.used_allow.borrow_mut();
+        for site in [line.saturating_sub(1), line] {
+            if self
+                .allow_sites
+                .get(&site)
+                .is_some_and(|rules| rules.contains(&rule))
+            {
+                used.insert((site, rule));
+            }
+        }
+    }
+
+    /// True when `rule` is waived at `line` by a `lint: allow` comment;
+    /// records the waiver as used. Does not consult the test mask —
+    /// graph-phase callers filter test lines themselves.
+    pub(crate) fn consume_allow(&self, rule: Rule, line: usize) -> bool {
+        let hit = self
+            .allow
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule));
+        if hit {
+            self.mark_used(rule, line);
+        }
+        hit
+    }
+
+    fn suppressed(&self, rule: Rule, line: usize) -> bool {
+        if self.in_test(line) {
+            return true;
+        }
+        self.consume_allow(rule, line)
+    }
+
+    pub(crate) fn emit(&self, out: &mut Vec<Finding>, rule: Rule, line: usize, message: String) {
         if self.suppressed(rule, line) {
             return;
         }
@@ -470,6 +715,25 @@ impl FileCtx<'_> {
             line,
             message,
         });
+    }
+
+    /// Suppression sites that silenced nothing, in line order. Sites
+    /// inside `#[cfg(test)]` regions are exempt — the scanner never
+    /// looks there, so their waivers can't fire by construction.
+    fn unused_allows(&self) -> Vec<(usize, Rule)> {
+        let used = self.used_allow.borrow();
+        let mut out = Vec::new();
+        for (&line, rules) in self.allow_sites {
+            if self.in_test(line) {
+                continue;
+            }
+            for &rule in rules {
+                if !used.contains(&(line, rule)) {
+                    out.push((line, rule));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -1061,42 +1325,145 @@ fn check_l004(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 // Entry points
 // ---------------------------------------------------------------------------
 
-/// Lints one file's source, returning findings sorted by line.
+/// A `lint: allow` comment that silenced nothing this run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedAllow {
+    /// The rule the stale waiver names.
+    pub rule: Rule,
+    /// Workspace-relative path of the file with the comment.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+}
+
+impl fmt::Display for UnusedAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: unused suppression: `lint: allow({})` silences nothing — remove it",
+            self.file,
+            self.line,
+            self.rule.id()
+        )
+    }
+}
+
+/// The result of linting a set of files as one workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Rule violations, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Stale `lint: allow` comments, sorted by (file, line, rule).
+    pub unused_allows: Vec<UnusedAllow>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints `files` (path, source) as one workspace: the per-file rules
+/// L001–L004 and L006 run on each file; the call-graph rules L005, L007,
+/// and L008 run across all of them together.
+#[must_use]
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> LintReport {
+    let prepped: Vec<(&str, Sanitized)> = files
+        .iter()
+        .map(|(path, src)| (path.as_str(), sanitize(src)))
+        .collect();
+    let masks: Vec<Vec<bool>> = prepped
+        .iter()
+        .map(|(_, san)| test_line_mask(&san.text))
+        .collect();
+    let units: Vec<graph::FileUnit<'_>> = prepped
+        .iter()
+        .zip(&masks)
+        .map(|((path, san), mask)| graph::FileUnit {
+            fns: graph::extract_fns(&san.text),
+            ctx: FileCtx {
+                path,
+                text: &san.text,
+                allow: &san.allow,
+                allow_sites: &san.allow_sites,
+                test_mask: mask,
+                used_allow: RefCell::new(BTreeSet::new()),
+            },
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for u in &units {
+        check_l001(&u.ctx, &mut findings);
+        check_l002(&u.ctx, cfg, &mut findings);
+        check_l003(&u.ctx, cfg, &mut findings);
+        check_l004(&u.ctx, &mut findings);
+        graph::check_l006(&u.ctx, &mut findings);
+    }
+    let ws = graph::Workspace::build(&units);
+    graph::check_l005(&ws, cfg, &mut findings);
+    graph::check_l007(&ws, cfg, &mut findings);
+    graph::check_l008(&ws, cfg, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    let mut unused_allows = Vec::new();
+    for u in &units {
+        for (line, rule) in u.ctx.unused_allows() {
+            unused_allows.push(UnusedAllow {
+                rule,
+                file: u.ctx.path.to_string(),
+                line,
+            });
+        }
+    }
+    unused_allows.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    LintReport {
+        findings,
+        unused_allows,
+        files_scanned: files.len(),
+    }
+}
+
+/// Lints one file's source, returning findings sorted by line. The
+/// cross-file rules see a single-file workspace, which is exactly what
+/// fixture tests want.
 #[must_use]
 pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let sanitized = sanitize(src);
-    let test_mask = test_line_mask(&sanitized.text);
-    let ctx = FileCtx {
-        path,
-        text: &sanitized.text,
-        allow: &sanitized.allow,
-        test_mask: &test_mask,
-    };
-    let mut out = Vec::new();
-    check_l001(&ctx, &mut out);
-    check_l002(&ctx, cfg, &mut out);
-    check_l003(&ctx, cfg, &mut out);
-    check_l004(&ctx, &mut out);
-    out.sort_by_key(|a| (a.line, a.rule));
+    lint_files(&[(path.to_string(), src.to_string())], cfg).findings
+}
+
+/// Parses a baseline: known findings (`L00x file:line` per line, `#`
+/// comments and blanks skipped) that are reported as baselined rather
+/// than failing `--deny`.
+#[must_use]
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// The baseline key for one finding.
+#[must_use]
+pub fn baseline_key(f: &Finding) -> String {
+    format!("{} {}:{}", f.rule.id(), f.file, f.line)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
     out
 }
 
 /// Serializes findings as a JSON array (stable field order, no deps).
 #[must_use]
 pub fn findings_to_json(findings: &[Finding], files_scanned: usize) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     let mut s = String::from("{\n  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         s.push_str(&format!(
@@ -1114,6 +1481,120 @@ pub fn findings_to_json(findings: &[Finding], files_scanned: usize) -> String {
         files_scanned
     ));
     s
+}
+
+impl LintReport {
+    /// Full machine-readable report. Deterministic: everything is
+    /// BTree-ordered, so a double run is byte-identical (the CI gate).
+    /// `baselined` and `stale_baseline` come from the caller's baseline
+    /// filtering; the findings here are the active (non-baselined) ones.
+    #[must_use]
+    pub fn to_json(&self, baselined: usize, stale_baseline: &[String]) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \
+                 \"{}\"}}{}\n",
+                f.rule.id(),
+                esc(&f.file),
+                f.line,
+                esc(&f.message),
+                if i + 1 == self.findings.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ],\n  \"unused_allows\": [\n");
+        for (i, u) in self.unused_allows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}}}{}\n",
+                u.rule.id(),
+                esc(&u.file),
+                u.line,
+                if i + 1 == self.unused_allows.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ],\n  \"stale_baseline\": [\n");
+        for (i, k) in stale_baseline.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\"{}\n",
+                esc(k),
+                if i + 1 == stale_baseline.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str(&format!(
+            "  ],\n  \"count\": {},\n  \"unused_allow_count\": {},\n  \"baselined\": {},\n  \
+             \"files_scanned\": {}\n}}\n",
+            self.findings.len(),
+            self.unused_allows.len(),
+            baselined,
+            self.files_scanned
+        ));
+        s
+    }
+}
+
+/// Directory names the workspace walk skips: build output, vendored
+/// shims, test/bench/example trees (including the lint fixtures under
+/// `tests/fixtures/`), and dotdirs.
+pub const SKIP_DIRS: [&str; 7] = [
+    "target", "compat", "tests", "benches", "examples", ".git", ".github",
+];
+
+fn collect_rs_files(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walks the workspace at `root` (sorted order, [`SKIP_DIRS`] skipped)
+/// and lints every `.rs` file as one workspace. This is the CLI's scan,
+/// exposed so the self-scan test runs the identical analysis.
+///
+/// # Errors
+/// Returns the underlying I/O error if the directory walk fails.
+pub fn scan_workspace(root: &std::path::Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, &mut paths)?;
+    let mut files = Vec::new();
+    for path in &paths {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((rel, src));
+    }
+    Ok(lint_files(&files, cfg))
 }
 
 #[cfg(test)]
@@ -1138,6 +1619,15 @@ mod tests {
         assert!(!s.text.contains(".unwrap()"));
         assert!(s.text.contains("let x = "));
         assert_eq!(s.text.lines().count(), 2);
+    }
+
+    #[test]
+    fn sanitize_keeps_newline_in_string_continuation() {
+        // A `\<newline>` continuation inside a string literal must not
+        // swallow the newline: later findings would shift by one line.
+        let s = sanitize("let m = \"a \\\n   b\";\nnext();");
+        assert_eq!(s.text.lines().count(), 3);
+        assert!(s.text.contains("next();"));
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! L005 negative fixture: the same handler shape, but every helper on
+//! the path does local work only.
+
+impl Relay {
+    fn spread(&mut self) {
+        self.tally += 1;
+    }
+
+    fn chase(&mut self) {
+        self.spread();
+    }
+}
+
+impl RpcHandler for Relay {
+    fn handle(&mut self) {
+        self.chase();
+    }
+}

@@ -1,0 +1,18 @@
+//! L005 positive fixture: a handler reaches a blocking RPC through a
+//! helper chain, which line-local analysis cannot see.
+
+impl Relay {
+    fn spread(&self) {
+        let _ = self.net.call(self.origin, self.next, ping());
+    }
+
+    fn chase(&self) {
+        self.spread();
+    }
+}
+
+impl RpcHandler for Relay {
+    fn handle(&self) {
+        self.chase();
+    }
+}

@@ -1,0 +1,15 @@
+//! L005 suppressed fixture: the risky path exists, but the entry is
+//! waived in place with a justification.
+
+impl Relay {
+    fn spread(&self) {
+        let _ = self.net.call(self.origin, self.next, ping());
+    }
+}
+
+impl RpcHandler for Relay {
+    // lint: allow(L005) fixture: designed nesting level justified here
+    fn handle(&self) {
+        self.spread();
+    }
+}

@@ -1,0 +1,24 @@
+//! L006 positive fixture: duplicate encode tag, encode/decode tag-set
+//! mismatch, and a dispatch with no unknown-tag arm.
+
+impl WireWrite for Frame {
+    fn write(&self, w: &mut Writer) {
+        match self {
+            Frame::Ping => w.u8(1),
+            Frame::Pong => w.u8(2),
+            Frame::Data => w.u8(2),
+            Frame::Bye => w.u8(3),
+        }
+    }
+}
+
+impl WireRead for Frame {
+    fn read(r: &mut Reader) -> Result<Frame, WireError> {
+        let t = r.u8()?;
+        match t {
+            1 => Ok(Frame::Ping),
+            2 => Ok(Frame::Pong),
+            4 => Ok(Frame::Bye),
+        }
+    }
+}

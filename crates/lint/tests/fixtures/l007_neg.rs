@@ -1,0 +1,10 @@
+//! L007 negative fixture: the lease is voided before the fan-out in
+//! the same block.
+
+impl Store {
+    fn apply_mutation(&self, path: &str) {
+        self.mutate(path);
+        self.void_lease(path);
+        self.fan_out(path);
+    }
+}

@@ -1,0 +1,9 @@
+//! L007 positive fixture: the mutation arm fans out without voiding
+//! leases first.
+
+impl Store {
+    fn apply_mutation(&self, path: &str) {
+        self.mutate(path);
+        self.fan_out(path);
+    }
+}

@@ -1,0 +1,22 @@
+//! L008 negative fixture: the same map, but maintenance prunes it.
+
+struct Tracker {
+    sightings: std::collections::HashMap<u64, u64>,
+    era: u64,
+}
+
+impl Tracker {
+    fn observe(&mut self, key: u64) {
+        self.sightings.insert(key, self.era);
+    }
+
+    fn maintain(&mut self) {
+        self.era += 1;
+        self.expire();
+    }
+
+    fn expire(&mut self) {
+        let horizon = self.era;
+        self.sightings.retain(|_, seen| *seen + 8 > horizon);
+    }
+}

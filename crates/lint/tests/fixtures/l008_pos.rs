@@ -1,0 +1,17 @@
+//! L008 positive fixture: a long-lived map with a reachable insert but
+//! no prune path from any cleanup root.
+
+struct Tracker {
+    sightings: std::collections::HashMap<u64, u64>,
+    era: u64,
+}
+
+impl Tracker {
+    fn observe(&mut self, key: u64) {
+        self.sightings.insert(key, self.era);
+    }
+
+    fn maintain(&mut self) {
+        self.era += 1;
+    }
+}

@@ -1,0 +1,18 @@
+//! L008 suppressed fixture: growth is accepted and justified at the
+//! field declaration.
+
+struct Tracker {
+    // lint: allow(L008) fixture: bounded by the fixed key universe
+    sightings: std::collections::HashMap<u64, u64>,
+    era: u64,
+}
+
+impl Tracker {
+    fn observe(&mut self, key: u64) {
+        self.sightings.insert(key, self.era);
+    }
+
+    fn maintain(&mut self) {
+        self.era += 1;
+    }
+}

@@ -1,0 +1,218 @@
+//! Golden tests for the call-graph rules (L005–L008): each rule gets a
+//! positive fixture proving it fires, a negative fixture proving it
+//! stays quiet, and a suppressed fixture proving an in-place waiver
+//! silences it without reading as stale. A final self-scan asserts the
+//! live workspace is clean under `--deny --deny-unused-allow` and that
+//! the JSON report is run-to-run byte-identical.
+
+use kosha_lint::{lint_files, scan_workspace, Config, LintReport, MustCallBefore, Rule};
+
+fn run_fixture(name: &str, source: &str, cfg: &Config) -> LintReport {
+    lint_files(&[(format!("fixtures/{name}"), source.to_string())], cfg)
+}
+
+fn rule_findings(report: &LintReport, rule: Rule) -> Vec<String> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| format!("{f}"))
+        .collect()
+}
+
+fn l007_cfg(suffix: &str) -> Config {
+    Config {
+        l007_rules: vec![MustCallBefore {
+            file_suffix: suffix.to_string(),
+            scope_fn: "apply_mutation".to_string(),
+            before: vec!["void_lease".to_string()],
+            target: "fan_out".to_string(),
+            why: "fixture: leases must be voided before the fan-out".to_string(),
+        }],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn l005_fires_on_transitive_handler_rpc() {
+    let report = run_fixture(
+        "l005_pos.rs",
+        include_str!("fixtures/l005_pos.rs"),
+        &Config::default(),
+    );
+    let hits = rule_findings(&report, Rule::L005);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("Relay::handle"), "{hits:?}");
+    assert!(hits[0].contains("handle -> chase -> spread"), "{hits:?}");
+}
+
+#[test]
+fn l005_quiet_on_local_only_helpers() {
+    let report = run_fixture(
+        "l005_neg.rs",
+        include_str!("fixtures/l005_neg.rs"),
+        &Config::default(),
+    );
+    assert!(rule_findings(&report, Rule::L005).is_empty());
+}
+
+#[test]
+fn l005_entry_waiver_suppresses_and_is_counted_used() {
+    let report = run_fixture(
+        "l005_sup.rs",
+        include_str!("fixtures/l005_sup.rs"),
+        &Config::default(),
+    );
+    assert!(rule_findings(&report, Rule::L005).is_empty());
+    assert!(report.unused_allows.is_empty(), "waiver must read as used");
+}
+
+#[test]
+fn l006_fires_on_duplicate_mismatch_and_missing_catch_all() {
+    let report = run_fixture(
+        "l006_pos.rs",
+        include_str!("fixtures/l006_pos.rs"),
+        &Config::default(),
+    );
+    let hits = rule_findings(&report, Rule::L006);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(
+        hits.iter().any(|h| h.contains("duplicate wire tag 2")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.contains("wire-tag sets disagree")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.contains("no unknown-tag arm")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn l006_quiet_on_symmetric_codec() {
+    let report = run_fixture(
+        "l006_neg.rs",
+        include_str!("fixtures/l006_neg.rs"),
+        &Config::default(),
+    );
+    assert!(rule_findings(&report, Rule::L006).is_empty());
+}
+
+#[test]
+fn l006_waiver_suppresses_deliberate_alias() {
+    let report = run_fixture(
+        "l006_sup.rs",
+        include_str!("fixtures/l006_sup.rs"),
+        &Config::default(),
+    );
+    assert!(rule_findings(&report, Rule::L006).is_empty());
+    assert!(report.unused_allows.is_empty(), "waiver must read as used");
+}
+
+#[test]
+fn l007_fires_when_before_call_is_missing() {
+    let report = run_fixture(
+        "l007_pos.rs",
+        include_str!("fixtures/l007_pos.rs"),
+        &l007_cfg("l007_pos.rs"),
+    );
+    let hits = rule_findings(&report, Rule::L007);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(
+        hits[0].contains("must call one of [void_lease]"),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn l007_quiet_when_before_call_precedes_target() {
+    let report = run_fixture(
+        "l007_neg.rs",
+        include_str!("fixtures/l007_neg.rs"),
+        &l007_cfg("l007_neg.rs"),
+    );
+    assert!(rule_findings(&report, Rule::L007).is_empty());
+}
+
+#[test]
+fn l007_waiver_suppresses_justified_arm() {
+    let report = run_fixture(
+        "l007_sup.rs",
+        include_str!("fixtures/l007_sup.rs"),
+        &l007_cfg("l007_sup.rs"),
+    );
+    assert!(rule_findings(&report, Rule::L007).is_empty());
+    assert!(report.unused_allows.is_empty(), "waiver must read as used");
+}
+
+#[test]
+fn l008_fires_on_unpruned_growable_field() {
+    let report = run_fixture(
+        "l008_pos.rs",
+        include_str!("fixtures/l008_pos.rs"),
+        &Config::default(),
+    );
+    let hits = rule_findings(&report, Rule::L008);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].contains("Tracker.sightings"), "{hits:?}");
+}
+
+#[test]
+fn l008_quiet_when_maintenance_reaches_a_prune() {
+    let report = run_fixture(
+        "l008_neg.rs",
+        include_str!("fixtures/l008_neg.rs"),
+        &Config::default(),
+    );
+    assert!(rule_findings(&report, Rule::L008).is_empty());
+}
+
+#[test]
+fn l008_waiver_suppresses_justified_field() {
+    let report = run_fixture(
+        "l008_sup.rs",
+        include_str!("fixtures/l008_sup.rs"),
+        &Config::default(),
+    );
+    assert!(rule_findings(&report, Rule::L008).is_empty());
+    assert!(report.unused_allows.is_empty(), "waiver must read as used");
+}
+
+#[test]
+fn unused_suppression_is_reported() {
+    let src = "// lint: allow(L005) nothing here ever fires\nfn quiet() {}\n";
+    let report = run_fixture("stale.rs", src, &Config::default());
+    assert!(report.findings.is_empty());
+    assert_eq!(report.unused_allows.len(), 1, "{:?}", report.unused_allows);
+    assert_eq!(report.unused_allows[0].rule, Rule::L005);
+}
+
+/// The live tree must hold every discipline the analyzer encodes: zero
+/// findings and zero stale waivers, exactly what CI enforces with
+/// `--deny --deny-unused-allow`.
+#[test]
+fn workspace_self_scan_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root, &Config::default()).expect("walk workspace");
+    assert!(report.files_scanned > 50, "scan looks truncated");
+    let findings: Vec<String> = report.findings.iter().map(|f| format!("{f}")).collect();
+    assert!(findings.is_empty(), "{findings:#?}");
+    let stale: Vec<String> = report
+        .unused_allows
+        .iter()
+        .map(|u| format!("{u}"))
+        .collect();
+    assert!(stale.is_empty(), "{stale:#?}");
+}
+
+/// The machine-readable report must be deterministic: CI diffs two
+/// consecutive `--json` runs byte-for-byte.
+#[test]
+fn json_report_is_double_run_identical() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let a = scan_workspace(&root, &Config::default()).expect("walk workspace");
+    let b = scan_workspace(&root, &Config::default()).expect("walk workspace");
+    assert_eq!(a.to_json(0, &[]), b.to_json(0, &[]));
+}

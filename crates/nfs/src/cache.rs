@@ -147,8 +147,11 @@ pub struct CachingClient {
     server: NodeAddr,
     clock: Arc<dyn Clock>,
     cfg: CacheConfig,
+    // lint: allow(L008) client cache: TTL-expired on access and dropped wholesale by clear(); process-scoped, not node state
     attrs: Mutex<HashMap<Fh, AttrEntry>>,
+    // lint: allow(L008) client cache: TTL-expired on access and dropped wholesale by clear()
     dentries: Mutex<HashMap<(Fh, String), CachedDentry>>,
+    // lint: allow(L008) client cache: capacity-evicted (oldest-first) on insert and dropped wholesale by clear()
     data: Mutex<HashMap<Fh, DataEntry>>,
     data_bytes: AtomicU64,
     stats: CacheStats,

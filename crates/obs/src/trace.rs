@@ -550,6 +550,7 @@ pub fn report_json(trees: &[TraceTree]) -> String {
     struct Group {
         count: u64,
         total: u64,
+        // lint: allow(L008) report-scoped accumulator: dropped when this function returns
         breakdown: BTreeMap<String, u64>,
     }
     let mut groups: BTreeMap<String, Group> = BTreeMap::new();

@@ -84,13 +84,24 @@ pub trait OverlayObserver: Send + Sync {
 struct State {
     rt: RoutingTable,
     ls: LeafSet,
-    /// Addresses this node currently believes are dead. Entries are added
-    /// on observed failures and removed when the address proves itself
-    /// alive (an `Announce` or successful ping). Without this suspicion
-    /// list, repair would re-learn a dead neighbor from a peer that has
-    /// not yet noticed the failure, then re-fail it — forever.
-    dead: std::collections::HashSet<NodeAddr>,
+    /// Addresses this node currently believes are dead, each tagged with
+    /// the insertion sequence number. Entries are added on observed
+    /// failures and removed when the address proves itself alive (an
+    /// `Announce` or successful ping). Without this suspicion list,
+    /// repair would re-learn a dead neighbor from a peer that has not
+    /// yet noticed the failure, then re-fail it — forever. The map is
+    /// capped at [`DEAD_TOMBSTONE_CAP`]: the oldest tombstone is evicted
+    /// on overflow, so lifetime churn cannot grow it without bound.
+    dead: std::collections::BTreeMap<NodeAddr, u64>,
+    /// Monotonic insertion counter ordering `dead` tombstones for
+    /// deterministic oldest-first eviction.
+    dead_seq: u64,
 }
+
+/// Upper bound on remembered dead-node tombstones. Suspicion only needs
+/// to outlive the gossip horizon of a failure; the oldest entries have
+/// long since served that purpose.
+const DEAD_TOMBSTONE_CAP: usize = 1024;
 
 /// One overlay participant.
 ///
@@ -193,7 +204,8 @@ impl PastryNode {
             state: Mutex::new(State {
                 rt: RoutingTable::new(id),
                 ls: LeafSet::new(id, cfg.leaf_half),
-                dead: std::collections::HashSet::new(),
+                dead: std::collections::BTreeMap::new(),
+                dead_seq: 0,
             }),
             cfg,
             net,
@@ -277,7 +289,7 @@ impl PastryNode {
             return;
         }
         let rtt = if self.cfg.proximity_aware {
-            if self.state.lock().dead.contains(&node.addr) {
+            if self.state.lock().dead.contains_key(&node.addr) {
                 return;
             }
             self.measure_rtt(node.addr)
@@ -286,7 +298,7 @@ impl PastryNode {
         };
         let entered_ls = {
             let mut st = self.state.lock();
-            if st.dead.contains(&node.addr) {
+            if st.dead.contains_key(&node.addr) {
                 return; // refuse to re-learn a suspected-dead address
             }
             st.rt.insert_with_rtt(node, rtt);
@@ -316,7 +328,16 @@ impl PastryNode {
         }
         let removed = {
             let mut st = self.state.lock();
-            let newly_dead = st.dead.insert(addr);
+            let seq = st.dead_seq;
+            st.dead_seq += 1;
+            let newly_dead = st.dead.insert(addr, seq).is_none();
+            if st.dead.len() > DEAD_TOMBSTONE_CAP {
+                // Deterministic oldest-first eviction keeps the tombstone
+                // set bounded across arbitrary churn.
+                if let Some(oldest) = st.dead.iter().min_by_key(|&(_, s)| *s).map(|(a, _)| *a) {
+                    st.dead.remove(&oldest);
+                }
+            }
             st.rt.remove_addr(addr);
             let removed = st.ls.remove_addr(addr);
             if !newly_dead && removed.is_empty() {
@@ -697,6 +718,7 @@ impl PastryNode {
 }
 
 impl RpcHandler for PastryNode {
+    // lint: allow(L005) overlay protocol handler: join/announce/repair perform bounded nested routing and probe RPCs by design; the transport's targeted helping prevents mailbox self-deadlock (DESIGN.md §14)
     fn handle(&self, from: NodeAddr, body: &[u8]) -> Result<RpcResponse, RpcError> {
         use kosha_rpc::WireRead;
         let req = PastryRequest::decode(body)?;

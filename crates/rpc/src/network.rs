@@ -350,6 +350,7 @@ pub trait RpcHandler: Send + Sync {
 /// Per-node table of service handlers.
 #[derive(Default)]
 pub struct ServiceMux {
+    // lint: allow(L008) bounded by the fixed ServiceId set: registered once at node construction, never per-peer
     handlers: RwLock<HashMap<ServiceId, Arc<dyn RpcHandler>>>,
 }
 

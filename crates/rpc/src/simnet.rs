@@ -252,10 +252,13 @@ impl SimNetwork {
     }
 
     /// Detaches a node entirely (permanent removal). The departed peer's
-    /// latency gauge and recorder series are pruned with it, so churn
-    /// does not grow the per-peer label set without bound.
+    /// latency gauge, recorder series, crash marker, and coordinates are
+    /// pruned with it, so churn does not grow any per-peer state without
+    /// bound.
     pub fn detach(&self, addr: NodeAddr) {
         self.nodes.write().remove(&addr);
+        self.down.write().remove(&addr);
+        self.coords.write().remove(&addr);
         self.metrics.prune_peer(addr);
     }
 

@@ -426,8 +426,9 @@ impl ThreadedNetwork {
 
     /// Detaches a node, closing all of its actors. Requests already
     /// queued are dropped (their callers observe `Unreachable`). The
-    /// departed peer's latency gauge and recorder series are pruned with
-    /// it, so churn does not grow the per-peer label set without bound.
+    /// departed peer's latency gauge, recorder series, and crash marker
+    /// are pruned with it, so churn does not grow any per-peer state
+    /// without bound.
     pub fn detach(&self, addr: NodeAddr) {
         let removed: Vec<Arc<ServiceActor>> = {
             let mut actors = self.actors.write();
@@ -439,6 +440,7 @@ impl ThreadedNetwork {
             inner.closed = true;
             inner.q.clear();
         }
+        self.down.write().remove(&addr);
         self.metrics.prune_peer(addr);
     }
 

@@ -22,6 +22,7 @@ pub struct NfsBaseline {
     net: Arc<SimNetwork>,
     nfs: NfsClient,
     root: Fh,
+    // lint: allow(L008) run-scoped sim harness cache: one baseline run's namespace, dropped with the harness
     dcache: Mutex<HashMap<String, Fh>>,
     chunk: u32,
 }

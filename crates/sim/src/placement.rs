@@ -94,6 +94,7 @@ pub struct PlacementSim {
     ids: Vec<Id>,
     load: Vec<NodeLoad>,
     /// Cache: anchor directory path → chosen node (after redirection).
+    // lint: allow(L008) run-scoped sim harness state: one placement run's anchors, dropped with the harness
     anchor_home: HashMap<String, Option<usize>>,
     rng: StdRng,
     attempts: u64,
